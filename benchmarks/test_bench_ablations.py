@@ -1,0 +1,123 @@
+"""Ablation benchmarks for the framework's design choices.
+
+These go beyond the paper's evaluation and cover its stated future work:
+
+* sensitivity of the risk profiles / clustering to the severity coefficients
+  (exponential vs linear vs uniform),
+* sensitivity of the vulnerability clusters to the clustering linkage, and
+* the query cost of the different attack explorers.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.attacks import BeamExplorer, EvasionAttack, GreedyExplorer, RandomExplorer
+from repro.glucose import Scenario
+from repro.risk import (
+    RiskProfileBuilder,
+    RiskQuantifier,
+    SeverityMatrix,
+    cluster_profiles,
+    profile_matrix,
+)
+
+
+def _cluster_assignment(campaign, severity, linkage="average"):
+    profiles = RiskProfileBuilder(RiskQuantifier(severity)).from_campaign(campaign)
+    labels, matrix = profile_matrix(profiles, length=48)
+    outcome = cluster_profiles(labels, matrix, linkage=linkage, n_clusters=2)
+    return outcome.as_dict()
+
+
+def test_ablation_severity_coefficients(benchmark, pipeline):
+    """How much do the vulnerability clusters depend on the severity choice?"""
+    campaign = pipeline.train_campaign
+
+    def regenerate():
+        return {
+            "exponential": _cluster_assignment(campaign, SeverityMatrix.paper_exponential()),
+            "linear": _cluster_assignment(campaign, SeverityMatrix.linear()),
+            "uniform": _cluster_assignment(campaign, SeverityMatrix.uniform()),
+        }
+
+    assignments = benchmark(regenerate)
+
+    def agreement(first, second):
+        labels = sorted(first)
+        same = sum(
+            1
+            for a in labels
+            for b in labels
+            if a < b and (first[a] == first[b]) == (second[a] == second[b])
+        )
+        pairs = len(labels) * (len(labels) - 1) // 2
+        return same / pairs
+
+    lines = ["Cluster agreement (pairwise co-membership) vs paper's exponential coefficients"]
+    for name in ("linear", "uniform"):
+        score = agreement(assignments["exponential"], assignments[name])
+        lines.append(f"  {name:>11}: {score:.2f}")
+        assert 0.0 <= score <= 1.0
+    write_report("ablation_severity", "\n".join(lines))
+
+
+def test_ablation_clustering_linkage(benchmark, pipeline):
+    """How stable are the clusters across linkage choices?"""
+    campaign = pipeline.train_campaign
+    severity = SeverityMatrix.paper_exponential()
+
+    def regenerate():
+        return {
+            linkage: _cluster_assignment(campaign, severity, linkage)
+            for linkage in ("single", "complete", "average", "ward")
+        }
+
+    assignments = benchmark(regenerate)
+    lines = ["Less/more vulnerable split per linkage"]
+    for linkage, assignment in assignments.items():
+        groups = {}
+        for label, cluster in assignment.items():
+            groups.setdefault(cluster, []).append(label)
+        rendered = " | ".join(",".join(sorted(members)) for members in groups.values())
+        lines.append(f"  {linkage:>8}: {rendered}")
+        assert len(groups) == 2
+    write_report("ablation_linkage", "\n".join(lines))
+
+
+def test_ablation_attack_explorers(benchmark, pipeline):
+    """Success and query cost of greedy vs beam vs random exploration."""
+    zoo = pipeline.zoo
+    cohort = pipeline.cohort
+    record = cohort["A_0"]
+    windows, _, _ = zoo.dataset.from_record(record, "test")
+    windows = windows[:: max(1, len(windows) // 20)][:20]
+    predictor = zoo.model_for(record.label)
+
+    explorers = {
+        "greedy": GreedyExplorer(max_depth=3),
+        "beam": BeamExplorer(beam_width=3, max_depth=3),
+        "random": RandomExplorer(max_depth=3, n_walks=10, seed=0),
+    }
+
+    def regenerate():
+        summary = {}
+        for name, explorer in explorers.items():
+            attack = EvasionAttack(predictor, explorer=explorer)
+            results = [attack.attack_window(window, Scenario.POSTPRANDIAL) for window in windows]
+            eligible = [result for result in results if result.eligible]
+            summary[name] = {
+                "success": float(np.mean([result.success for result in eligible])) if eligible else float("nan"),
+                "queries": float(np.mean([result.queries for result in results])),
+            }
+        return summary
+
+    summary = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    lines = ["Explorer ablation (20 windows of patient A_0, postprandial goal)"]
+    for name, stats in summary.items():
+        lines.append(
+            f"  {name:>6}: success={stats['success']:.2f} mean_queries={stats['queries']:.1f}"
+        )
+    # Beam search is at least as successful as random walking on average.
+    if not np.isnan(summary["beam"]["success"]) and not np.isnan(summary["random"]["success"]):
+        assert summary["beam"]["success"] >= summary["random"]["success"] - 0.15
+    write_report("ablation_explorers", "\n".join(lines))

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the individual pipeline components.
+
+These do not map to a paper figure; they document the computational cost of
+each stage (forecaster inference, attack search, risk quantification,
+clustering, detector scoring) so regressions are visible.
+"""
+
+import numpy as np
+
+from repro.detectors import KNNClassifierDetector, OneClassSVMDetector
+from repro.eval import confusion_matrix
+from repro.glucose import Scenario
+from repro.attacks import EvasionAttack
+from repro.risk import RiskProfileBuilder, cluster_profiles, profile_matrix
+
+
+def test_bench_forecaster_inference(benchmark, pipeline):
+    """Latency of a batched forecaster prediction (256 windows)."""
+    zoo = pipeline.zoo
+    record = next(iter(pipeline.cohort))
+    windows, _, _ = zoo.dataset.from_record(record, "test")
+    batch = windows[:256] if len(windows) >= 256 else windows
+    predictions = benchmark(zoo.model_for(record.label).predict, batch)
+    assert np.all(np.isfinite(predictions))
+
+
+def test_bench_single_window_attack(benchmark, pipeline):
+    """Latency of one greedy evasion attack."""
+    zoo = pipeline.zoo
+    record = pipeline.cohort["A_5"]
+    windows, _, _ = zoo.dataset.from_record(record, "test")
+    attack = EvasionAttack(zoo.model_for("A_5"))
+    result = benchmark(attack.attack_window, windows[0], Scenario.POSTPRANDIAL)
+    assert result.queries >= 1
+
+
+def test_bench_risk_profile_construction(benchmark, pipeline):
+    """Cost of building all risk profiles from a finished campaign."""
+    builder = RiskProfileBuilder()
+    profiles = benchmark(builder.from_campaign, pipeline.train_campaign)
+    assert len(profiles) == len(pipeline.cohort)
+
+
+def test_bench_hierarchical_clustering(benchmark, pipeline):
+    """Cost of clustering the cohort's risk profiles."""
+    profiles = pipeline.assessment.profiles
+    labels, matrix = profile_matrix(profiles, length=64)
+    outcome = benchmark(cluster_profiles, labels, matrix, "average", 2)
+    assert outcome.n_clusters == 2
+
+
+def test_bench_knn_scoring(benchmark, pipeline):
+    """Throughput of kNN scoring on the evaluation samples."""
+    train_windows, train_labels, _ = pipeline.train_campaign.sample_dataset()
+    test_windows, test_labels, _ = pipeline.test_campaign.sample_dataset()
+    detector = KNNClassifierDetector().fit(train_windows, train_labels)
+    predictions = benchmark(detector.predict, test_windows)
+    matrix = confusion_matrix(test_labels, predictions)
+    assert matrix.total == len(test_labels)
+
+
+def test_bench_ocsvm_fit(benchmark, pipeline):
+    """Cost of fitting the one-class SVM on the less-vulnerable benign samples."""
+    windows, labels, _ = pipeline.train_campaign.sample_dataset(patient_labels=["A_5", "B_1", "B_2"])
+    benign = windows[labels == 0]
+
+    def fit():
+        return OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.1, seed=0).fit(benign)
+
+    detector = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert detector.support_vectors_ is not None

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating Figures 3 and 4.
+
+* Figure 3 — per-patient time-series risk profiles and the hierarchical
+  clustering dendrograms for Subset A and Subset B.
+* Figure 4 — benign normal-to-abnormal glucose ratio per patient.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.data import expected_less_vulnerable_labels, expected_more_vulnerable_labels
+from repro.eval import benign_ratio_by_patient, render_dendrogram, render_ratio_figure
+from repro.risk import cluster_profiles, profile_matrix
+
+
+def test_fig3_risk_profile_dendrograms(benchmark, pipeline):
+    """Figure 3: dendrograms from hierarchically clustering the risk profiles."""
+    profiles = pipeline.assessment.profiles
+
+    def regenerate():
+        reports = []
+        for subset in ("A", "B"):
+            subset_profiles = {
+                label: profile for label, profile in profiles.items() if label.startswith(subset)
+            }
+            labels, matrix = profile_matrix(subset_profiles, length=48)
+            outcome = cluster_profiles(labels, matrix, linkage="average", n_clusters=2)
+            reports.append(f"Subset {subset} dendrogram\n" + render_dendrogram(outcome))
+        return "\n\n".join(reports)
+
+    text = benchmark(regenerate)
+    assert "Subset A dendrogram" in text
+    assert "Subset B dendrogram" in text
+    # Every patient appears as a leaf.
+    for label in profiles:
+        assert label in text
+    write_report("fig3_dendrograms", text)
+
+
+def test_fig4_normal_to_abnormal_ratio(benchmark, pipeline):
+    """Figure 4: less vulnerable patients show higher benign normal/abnormal ratios."""
+    cohort = pipeline.cohort
+
+    ratios = benchmark(benign_ratio_by_patient, cohort)
+    text = render_ratio_figure(ratios)
+
+    less = [ratios[label] for label in expected_less_vulnerable_labels()]
+    more = [ratios[label] for label in expected_more_vulnerable_labels()]
+    # Shape check from the paper: the less vulnerable group's ratios dominate.
+    assert np.mean(less) > np.mean(more)
+    assert max(more) < max(less)
+    write_report("fig4_normal_abnormal_ratio", text)

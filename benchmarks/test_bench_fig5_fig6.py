@@ -1,0 +1,72 @@
+"""Benchmarks regenerating Figures 5 and 6.
+
+* Figure 5 — indiscriminately trained kNN produces more false negatives on a
+  more-vulnerable patient than on a less-vulnerable patient.
+* Figure 6 — the four-quadrant taxonomy of glucose samples.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.detectors import KNNClassifierDetector
+from repro.eval import (
+    false_negative_rate_by_patient,
+    quadrant_breakdown,
+    render_false_negative_rates,
+    render_quadrants,
+    trace_detection,
+)
+
+
+def test_fig5_indiscriminate_training_false_negatives(benchmark, pipeline):
+    """Figure 5: per-patient false negatives of an all-patients kNN detector."""
+    train_windows, train_labels, _ = pipeline.train_campaign.sample_dataset()
+    detector = KNNClassifierDetector(n_neighbors=7).fit(train_windows, train_labels)
+
+    def regenerate():
+        return false_negative_rate_by_patient(detector, pipeline.test_campaign)
+
+    rates = benchmark(regenerate)
+    text = render_false_negative_rates(rates)
+
+    less_vulnerable_rates = [rates[l] for l in ("A_5", "B_2") if not np.isnan(rates.get(l, np.nan))]
+    more_vulnerable_rates = [
+        rate
+        for label, rate in rates.items()
+        if label not in ("A_5", "B_1", "B_2") and not np.isnan(rate)
+    ]
+    assert less_vulnerable_rates, "less vulnerable patients must have malicious samples"
+    # The paper's message: indiscriminate training protects the less vulnerable
+    # patients better (lower FN rate) than the more vulnerable ones.
+    if more_vulnerable_rates:
+        assert float(np.mean(less_vulnerable_rates)) <= float(np.mean(more_vulnerable_rates)) + 0.25
+
+    trace = trace_detection(detector, pipeline.test_campaign, "A_5")
+    assert trace
+    write_report("fig5_false_negative_rates", text)
+
+
+def test_fig6_sample_quadrants(benchmark, pipeline):
+    """Figure 6: benign/malicious x normal/abnormal sample counts."""
+    less_label, more_label = "A_5", "A_2"
+
+    def regenerate():
+        return (
+            quadrant_breakdown(pipeline.test_campaign, less_label),
+            quadrant_breakdown(pipeline.test_campaign, more_label),
+        )
+
+    less_counts, more_counts = benchmark(regenerate)
+    text = (
+        f"Less vulnerable patient ({less_label})\n"
+        + render_quadrants(less_counts)
+        + f"\n\nMore vulnerable patient ({more_label})\n"
+        + render_quadrants(more_counts)
+    )
+
+    # Less vulnerable patients are dominated by benign-normal samples; more
+    # vulnerable patients carry far more benign-abnormal samples (the source of
+    # false negatives under indiscriminate training).
+    assert less_counts.benign_normal > less_counts.benign_abnormal
+    assert more_counts.benign_abnormal > more_counts.benign_normal
+    write_report("fig6_quadrants", text)

@@ -1,0 +1,55 @@
+"""Benchmarks regenerating the paper's tables.
+
+* Table I  — severity coefficients for state transitions.
+* Table II — patient vulnerability clusters recovered by the framework.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.data import expected_less_vulnerable_labels
+from repro.eval import render_cluster_table, render_severity_table
+from repro.risk import SeverityMatrix
+
+
+def test_table1_severity_coefficients(benchmark):
+    """Table I: the severity matrix used by the risk quantifier."""
+    text = benchmark(render_severity_table, SeverityMatrix.paper_exponential())
+    matrix = SeverityMatrix.paper_exponential()
+    rows = matrix.as_rows()
+    assert [row[2] for row in rows] == [64.0, 32.0, 16.0, 8.0, 4.0, 2.0]
+    assert rows[0][:2] == ("hypo", "hyper")
+    write_report("table1_severity", text)
+
+
+def test_table2_vulnerability_clusters(benchmark, pipeline):
+    """Table II: clusters recovered by the risk profiling framework."""
+    assessment = pipeline.assessment
+
+    def regenerate():
+        return render_cluster_table(assessment)
+
+    text = benchmark(regenerate)
+
+    # The framework must partition the cohort into two non-empty groups and the
+    # group labelled "less vulnerable" must have a lower mean attack success.
+    rates = {
+        index: rate
+        for index, rate in assessment.cluster_success_rates.items()
+        if not np.isnan(rate)
+    }
+    assert assessment.less_vulnerable and assessment.more_vulnerable
+    if len(rates) == 2:
+        less_cluster = assessment.cluster_of(assessment.less_vulnerable[0])
+        other = next(index for index in rates if index != less_cluster)
+        assert rates[less_cluster] <= rates[other]
+
+    paper_less = set(expected_less_vulnerable_labels())
+    recovered_less = set(assessment.less_vulnerable)
+    overlap = len(paper_less & recovered_less)
+    comparison = (
+        f"Paper Table II less-vulnerable cluster : {sorted(paper_less)}\n"
+        f"Framework-recovered less-vulnerable    : {sorted(recovered_less)}\n"
+        f"Overlap                                : {overlap}/{len(paper_less)}"
+    )
+    write_report("table2_clusters", text + "\n\n" + comparison)

@@ -1,0 +1,22 @@
+"""Build and pickle a small pipeline state for fast iteration during development."""
+import pickle, time
+from repro.data import generate_cohort
+from repro.glucose import GlucoseModelZoo
+from repro.attacks import AttackCampaign
+
+t0 = time.time()
+cohort = generate_cohort(train_days=5, test_days=2, seed=7)
+zoo = GlucoseModelZoo(predictor_kwargs=dict(epochs=5, hidden_size=12), train_personalized=True, seed=3)
+zoo.fit(cohort)
+train_campaign = AttackCampaign(zoo, stride=4).run_cohort(cohort, split="train")
+test_campaign = AttackCampaign(zoo, stride=3).run_cohort(cohort, split="test")
+with open("/tmp/pipeline_cache.pkl", "wb") as fh:
+    pickle.dump(dict(cohort=cohort, zoo=zoo, train_campaign=train_campaign, test_campaign=test_campaign), fh)
+print("cached in", round(time.time() - t0, 1), "s")
+import numpy as np
+for rec in cohort:
+    cgm = rec.cgm('train')
+    normal = np.mean((cgm >= 70) & (cgm <= 180)); hyper = np.mean(cgm > 180)
+    print(rec.label, rec.profile.control_level.ljust(10), 'normal%', round(normal*100,1), 'hyper%', round(hyper*100,1))
+for label, s in test_campaign.summaries().items():
+    print(label, 'eligible', s.n_eligible, '/', s.n_windows, 'succ%', round(100*s.success_rate,1) if s.n_eligible else 'n/a')

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that legacy
+``python setup.py develop`` installs work in offline environments that lack
+the ``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro: reproduction of "Learning from the Good Ones" (DSN 2025).
+
+A risk profiling framework that selectively trains static anomaly detectors on
+the victim instances least vulnerable to an evasion attack, evaluated on a
+synthetic blood glucose management system.
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy autograd neural-network substrate (Dense, LSTM, BiLSTM, Adam, ...).
+``repro.data``
+    Physiological glucose simulator and synthetic OhioT1DM-like cohort.
+``repro.glucose``
+    Target BiLSTM glucose forecaster and glucose-state logic.
+``repro.attacks``
+    URET-style evasion attack framework (transformers, constraints, explorers).
+``repro.detectors``
+    kNN, OneClassSVM, and MAD-GAN anomaly detectors.
+``repro.risk``
+    The paper's contribution: severity-weighted risk quantification, risk
+    profiles, hierarchical clustering, and selective-training strategies.
+``repro.eval``
+    Metrics, experiment harness, and report generation for every paper
+    table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,58 @@
+"""URET-style evasion attack framework: transformers, constraints, explorers."""
+
+from repro.attacks.constraints import (
+    CompositeConstraint,
+    Constraint,
+    GlucoseRangeConstraint,
+    MaxModifiedSamplesConstraint,
+    constraint_for_scenario,
+)
+from repro.attacks.transformers import (
+    RampTransformer,
+    ScaleTransformer,
+    SuffixLevelTransformer,
+    SuffixOffsetTransformer,
+    TransformationEdge,
+    Transformer,
+    default_transformers,
+)
+from repro.attacks.explorers import (
+    BeamExplorer,
+    ExplorationResult,
+    Explorer,
+    GreedyExplorer,
+    RandomExplorer,
+)
+from repro.attacks.uret import AttackResult, EvasionAttack
+from repro.attacks.campaign import (
+    AttackCampaign,
+    CampaignResult,
+    CampaignSummary,
+    WindowAttackRecord,
+)
+
+__all__ = [
+    "CompositeConstraint",
+    "Constraint",
+    "GlucoseRangeConstraint",
+    "MaxModifiedSamplesConstraint",
+    "constraint_for_scenario",
+    "RampTransformer",
+    "ScaleTransformer",
+    "SuffixLevelTransformer",
+    "SuffixOffsetTransformer",
+    "TransformationEdge",
+    "Transformer",
+    "default_transformers",
+    "BeamExplorer",
+    "ExplorationResult",
+    "Explorer",
+    "GreedyExplorer",
+    "RandomExplorer",
+    "AttackResult",
+    "EvasionAttack",
+    "AttackCampaign",
+    "CampaignResult",
+    "CampaignSummary",
+    "WindowAttackRecord",
+]

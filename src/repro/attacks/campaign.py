@@ -1,0 +1,251 @@
+"""Attack campaigns: run the evasion attack across patients and splits.
+
+A campaign attacks (a subsample of) every eligible window of a patient trace
+and collects per-window :class:`~repro.attacks.uret.AttackResult` objects.
+Campaign results feed three downstream consumers:
+
+* attack success-rate figures (paper Appendix A, Figures 9 and 10),
+* the risk profiling framework (step 1: attack simulation), and
+* labeled benign/malicious window sets for training and evaluating the
+  anomaly detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.uret import AttackResult, EvasionAttack
+from repro.data.cohort import Cohort, PatientRecord
+from repro.data.dataset import ForecastingDataset
+from repro.glucose.models import GlucoseModelZoo
+from repro.glucose.states import GlucoseState, Scenario, scenario_for_samples
+
+
+@dataclass
+class WindowAttackRecord:
+    """An attack result annotated with its provenance inside the trace."""
+
+    patient_label: str
+    split: str
+    window_index: int
+    target_index: int
+    result: AttackResult
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate statistics of one campaign run for one patient/split."""
+
+    patient_label: str
+    split: str
+    n_windows: int
+    n_eligible: int
+    n_success: int
+    success_rate: float
+    normal_to_hyper_rate: float
+    hypo_to_hyper_rate: float
+    n_normal_eligible: int
+    n_hypo_eligible: int
+    mean_queries: float
+
+
+@dataclass
+class CampaignResult:
+    """All attack records of a campaign plus per-patient summaries."""
+
+    records: List[WindowAttackRecord] = field(default_factory=list)
+
+    def for_patient(self, patient_label: str) -> List[WindowAttackRecord]:
+        return [record for record in self.records if record.patient_label == patient_label]
+
+    @property
+    def patient_labels(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.patient_label not in seen:
+                seen.append(record.patient_label)
+        return seen
+
+    def summary(self, patient_label: str) -> CampaignSummary:
+        """Success-rate summary for one patient."""
+        records = self.for_patient(patient_label)
+        if not records:
+            raise KeyError(f"no campaign records for patient {patient_label!r}")
+        results = [record.result for record in records]
+        eligible = [result for result in results if result.eligible]
+        successes = [result for result in eligible if result.success]
+
+        normal_eligible = [r for r in eligible if r.benign_state == GlucoseState.NORMAL]
+        hypo_eligible = [r for r in eligible if r.benign_state == GlucoseState.HYPO]
+        normal_success = [r for r in normal_eligible if r.success]
+        hypo_success = [r for r in hypo_eligible if r.success]
+
+        def rate(successes_list, eligible_list) -> float:
+            return len(successes_list) / len(eligible_list) if eligible_list else float("nan")
+
+        return CampaignSummary(
+            patient_label=patient_label,
+            split=records[0].split,
+            n_windows=len(results),
+            n_eligible=len(eligible),
+            n_success=len(successes),
+            success_rate=rate(successes, eligible),
+            normal_to_hyper_rate=rate(normal_success, normal_eligible),
+            hypo_to_hyper_rate=rate(hypo_success, hypo_eligible),
+            n_normal_eligible=len(normal_eligible),
+            n_hypo_eligible=len(hypo_eligible),
+            mean_queries=float(np.mean([result.queries for result in results])) if results else 0.0,
+        )
+
+    def summaries(self) -> Dict[str, CampaignSummary]:
+        return {label: self.summary(label) for label in self.patient_labels}
+
+    # --------------------------------------------------------- detector datasets
+    def detection_dataset(
+        self,
+        patient_labels: Optional[Sequence[str]] = None,
+        include_failed: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+        """Assemble a labeled window dataset for anomaly detectors.
+
+        Returns
+        -------
+        windows:
+            Array ``(n, history, features)`` of benign and adversarial windows.
+        labels:
+            1 for adversarial (manipulated) windows, 0 for benign windows.
+        provenance:
+            Patient label per window.
+        """
+        if patient_labels is None:
+            patient_labels = self.patient_labels
+        windows: List[np.ndarray] = []
+        labels: List[int] = []
+        provenance: List[str] = []
+        for record in self.records:
+            if record.patient_label not in patient_labels:
+                continue
+            result = record.result
+            windows.append(result.benign_window)
+            labels.append(0)
+            provenance.append(record.patient_label)
+            if result.eligible and (result.success or include_failed):
+                windows.append(result.adversarial_window)
+                labels.append(1)
+                provenance.append(record.patient_label)
+        if not windows:
+            return np.empty((0, 0, 0)), np.empty((0,), dtype=int), []
+        return np.stack(windows), np.asarray(labels, dtype=int), provenance
+
+    def sample_dataset(
+        self,
+        patient_labels: Optional[Sequence[str]] = None,
+        include_failed: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+        """Assemble a labeled per-sample dataset for point anomaly detectors.
+
+        The paper's kNN and OneClassSVM detectors inspect individual glucose
+        measurements (the sample transmitted at time ``t``) rather than whole
+        windows; this view exposes the final row of each benign window as a
+        benign sample and the final row of each (successful) adversarial
+        window as a malicious sample.
+
+        Returns
+        -------
+        samples:
+            Array ``(n, 1, features)`` — single-timestep windows, so the same
+            detector interface applies to both views.
+        labels:
+            1 for manipulated measurements, 0 for benign measurements.
+        provenance:
+            Patient label per sample.
+        """
+        if patient_labels is None:
+            patient_labels = self.patient_labels
+        samples: List[np.ndarray] = []
+        labels: List[int] = []
+        provenance: List[str] = []
+        for record in self.records:
+            if record.patient_label not in patient_labels:
+                continue
+            result = record.result
+            samples.append(result.benign_window[-1:])
+            labels.append(0)
+            provenance.append(record.patient_label)
+            if result.eligible and (result.success or include_failed):
+                samples.append(result.adversarial_window[-1:])
+                labels.append(1)
+                provenance.append(record.patient_label)
+        if not samples:
+            return np.empty((0, 1, 0)), np.empty((0,), dtype=int), []
+        return np.stack(samples), np.asarray(labels, dtype=int), provenance
+
+
+class AttackCampaign:
+    """Run the evasion attack over patient traces.
+
+    Parameters
+    ----------
+    zoo:
+        Trained model zoo; each patient is attacked through the model the
+        deployment would use for them (personalized if available, otherwise
+        the aggregate model).
+    dataset:
+        Windowing configuration (must match the zoo's).
+    stride:
+        Attack every ``stride``-th window of the trace (1 = every window).
+    attack_factory:
+        Callable building an :class:`EvasionAttack` from a predictor; lets the
+        caller swap explorers or transformation sets.
+    """
+
+    def __init__(
+        self,
+        zoo: GlucoseModelZoo,
+        dataset: Optional[ForecastingDataset] = None,
+        stride: int = 1,
+        attack_factory=None,
+    ):
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.zoo = zoo
+        self.dataset = dataset or zoo.dataset
+        self.stride = int(stride)
+        self.attack_factory = attack_factory or (lambda predictor: EvasionAttack(predictor))
+
+    def run_patient(self, record: PatientRecord, split: str = "test") -> CampaignResult:
+        """Attack one patient's trace."""
+        windows, _, target_indices = self.dataset.from_record(record, split)
+        result = CampaignResult()
+        if len(windows) == 0:
+            return result
+        carbs = record.features(split)[:, 2]
+        scenarios = scenario_for_samples(carbs)
+        predictor = self.zoo.model_for(record.label)
+        attack = self.attack_factory(predictor)
+
+        for window_index in range(0, len(windows), self.stride):
+            target_index = target_indices[window_index]
+            scenario = scenarios[target_index]
+            attack_result = attack.attack_window(windows[window_index], scenario)
+            result.records.append(
+                WindowAttackRecord(
+                    patient_label=record.label,
+                    split=split,
+                    window_index=window_index,
+                    target_index=target_index,
+                    result=attack_result,
+                )
+            )
+        return result
+
+    def run_cohort(self, cohort: Cohort, split: str = "test") -> CampaignResult:
+        """Attack every patient in a cohort and merge the records."""
+        merged = CampaignResult()
+        for record in cohort:
+            patient_result = self.run_patient(record, split)
+            merged.records.extend(patient_result.records)
+        return merged

@@ -1,0 +1,158 @@
+"""Constraints on adversarially manipulated inputs.
+
+The paper's threat model allows the adversary to manipulate only the CGM
+measurements (intercepted over Bluetooth) and requires the manipulated values
+to stay physiologically plausible:
+
+* fasting scenario: manipulated CGM values in [125, 499] mg/dL,
+* postprandial scenario: manipulated CGM values in [180, 499] mg/dL,
+
+where 499 mg/dL is the highest glucose value reported in the OhioT1DM dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.data.cohort import CGM_COLUMN
+from repro.glucose.states import (
+    FASTING_HYPER_THRESHOLD,
+    MAX_PLAUSIBLE_GLUCOSE,
+    POSTPRANDIAL_HYPER_THRESHOLD,
+    Scenario,
+)
+
+
+class Constraint:
+    """Interface for admissibility checks and projections of candidate inputs."""
+
+    def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
+        """True when the candidate window is admissible."""
+        raise NotImplementedError
+
+    def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
+        """Return the closest admissible window to ``window``."""
+        raise NotImplementedError
+
+
+@dataclass
+class GlucoseRangeConstraint(Constraint):
+    """Manipulated CGM values must lie within a plausible hyperglycemic range.
+
+    Only samples that the adversary actually modified are required to fall in
+    ``[low, high]``; untouched samples keep their original (benign) values.
+
+    Attributes
+    ----------
+    low, high:
+        Bounds on manipulated CGM values in mg/dL.
+    feature_column:
+        Column of the CGM signal inside the feature window.
+    tolerance:
+        Numerical tolerance when deciding whether a sample was modified.
+    """
+
+    low: float
+    high: float = MAX_PLAUSIBLE_GLUCOSE
+    feature_column: int = CGM_COLUMN
+    tolerance: float = 1e-9
+
+    def __post_init__(self):
+        if self.low >= self.high:
+            raise ValueError(f"low ({self.low}) must be below high ({self.high})")
+
+    def _modified_mask(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
+        return (
+            np.abs(window[:, self.feature_column] - original[:, self.feature_column])
+            > self.tolerance
+        )
+
+    def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
+        window = np.asarray(window, dtype=np.float64)
+        original = np.asarray(original, dtype=np.float64)
+        if window.shape != original.shape:
+            raise ValueError("window and original must have the same shape")
+        if not np.allclose(
+            np.delete(window, self.feature_column, axis=1),
+            np.delete(original, self.feature_column, axis=1),
+        ):
+            return False  # only the CGM channel may be touched
+        modified = self._modified_mask(window, original)
+        values = window[modified, self.feature_column]
+        return bool(np.all((values >= self.low) & (values <= self.high)))
+
+    def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
+        window = np.array(window, dtype=np.float64, copy=True)
+        original = np.asarray(original, dtype=np.float64)
+        # Restore any non-CGM channel the transformation may have touched.
+        for column in range(window.shape[1]):
+            if column != self.feature_column:
+                window[:, column] = original[:, column]
+        modified = self._modified_mask(window, original)
+        window[modified, self.feature_column] = np.clip(
+            window[modified, self.feature_column], self.low, self.high
+        )
+        return window
+
+
+def constraint_for_scenario(scenario: Scenario) -> GlucoseRangeConstraint:
+    """The paper's CGM manipulation constraint for a scenario."""
+    if scenario == Scenario.FASTING:
+        return GlucoseRangeConstraint(low=FASTING_HYPER_THRESHOLD)
+    if scenario == Scenario.POSTPRANDIAL:
+        return GlucoseRangeConstraint(low=POSTPRANDIAL_HYPER_THRESHOLD)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+@dataclass
+class CompositeConstraint(Constraint):
+    """Logical AND over several constraints (projection applies them in order)."""
+
+    constraints: Sequence[Constraint]
+
+    def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
+        return all(constraint.is_satisfied(window, original) for constraint in self.constraints)
+
+    def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
+        projected = window
+        for constraint in self.constraints:
+            projected = constraint.project(projected, original)
+        return projected
+
+
+@dataclass
+class MaxModifiedSamplesConstraint(Constraint):
+    """Limit how many CGM samples within the window the adversary may modify.
+
+    This models a stealthier adversary who cannot rewrite the whole Bluetooth
+    stream without being noticed; it is used by the ablation benchmarks.
+    """
+
+    max_modified: int
+    feature_column: int = CGM_COLUMN
+    tolerance: float = 1e-9
+
+    def _modified_mask(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
+        return (
+            np.abs(window[:, self.feature_column] - original[:, self.feature_column])
+            > self.tolerance
+        )
+
+    def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
+        return int(self._modified_mask(np.asarray(window), np.asarray(original)).sum()) <= self.max_modified
+
+    def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
+        window = np.array(window, dtype=np.float64, copy=True)
+        original = np.asarray(original, dtype=np.float64)
+        modified = np.where(self._modified_mask(window, original))[0]
+        if len(modified) <= self.max_modified:
+            return window
+        # Keep the latest (most influential) modifications and revert the rest.
+        keep = set(modified[-self.max_modified :])
+        for index in modified:
+            if index not in keep:
+                window[index, self.feature_column] = original[index, self.feature_column]
+        return window

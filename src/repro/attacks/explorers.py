@@ -1,0 +1,197 @@
+"""Search strategies over the transformation graph (URET "explorers")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.constraints import Constraint
+from repro.attacks.transformers import TransformationEdge, Transformer
+from repro.utils.rng import as_random_state
+
+#: Scores a batch of candidate windows; larger is better for the adversary.
+ScoreFunction = Callable[[np.ndarray], np.ndarray]
+
+#: Decides whether a (window, score) pair reaches the adversarial goal.
+GoalFunction = Callable[[np.ndarray, float], bool]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of an explorer search."""
+
+    success: bool
+    window: np.ndarray
+    score: float
+    path: List[str] = field(default_factory=list)
+    queries: int = 0
+
+
+def _expand(
+    window: np.ndarray,
+    original: np.ndarray,
+    transformers: Sequence[Transformer],
+    constraint: Constraint,
+) -> List[TransformationEdge]:
+    """Generate all admissible candidate edges from ``window``."""
+    edges: List[TransformationEdge] = []
+    for transformer in transformers:
+        for edge in transformer.candidates(window):
+            projected = constraint.project(edge.window, original)
+            if constraint.is_satisfied(projected, original):
+                edges.append(TransformationEdge(projected, edge.description))
+    return edges
+
+
+class Explorer:
+    """Interface for transformation-graph search strategies."""
+
+    def search(
+        self,
+        original: np.ndarray,
+        transformers: Sequence[Transformer],
+        constraint: Constraint,
+        score_function: ScoreFunction,
+        goal_function: GoalFunction,
+    ) -> ExplorationResult:
+        raise NotImplementedError
+
+
+@dataclass
+class GreedyExplorer(Explorer):
+    """Follow the single best-scoring edge at every depth."""
+
+    max_depth: int = 3
+
+    def search(
+        self,
+        original: np.ndarray,
+        transformers: Sequence[Transformer],
+        constraint: Constraint,
+        score_function: ScoreFunction,
+        goal_function: GoalFunction,
+    ) -> ExplorationResult:
+        original = np.asarray(original, dtype=np.float64)
+        current = original.copy()
+        current_score = float(score_function(current[np.newaxis])[0])
+        queries = 1
+        path: List[str] = []
+
+        if goal_function(current, current_score):
+            return ExplorationResult(True, current, current_score, path, queries)
+
+        for _ in range(self.max_depth):
+            edges = _expand(current, original, transformers, constraint)
+            if not edges:
+                break
+            batch = np.stack([edge.window for edge in edges])
+            scores = score_function(batch)
+            queries += len(edges)
+            best_index = int(np.argmax(scores))
+            best_score = float(scores[best_index])
+            if best_score <= current_score:
+                break  # no edge improves the adversarial objective
+            current = edges[best_index].window
+            current_score = best_score
+            path.append(edges[best_index].description)
+            if goal_function(current, current_score):
+                return ExplorationResult(True, current, current_score, path, queries)
+        return ExplorationResult(
+            goal_function(current, current_score), current, current_score, path, queries
+        )
+
+
+@dataclass
+class BeamExplorer(Explorer):
+    """Keep the ``beam_width`` best windows at every depth."""
+
+    beam_width: int = 3
+    max_depth: int = 3
+
+    def search(
+        self,
+        original: np.ndarray,
+        transformers: Sequence[Transformer],
+        constraint: Constraint,
+        score_function: ScoreFunction,
+        goal_function: GoalFunction,
+    ) -> ExplorationResult:
+        original = np.asarray(original, dtype=np.float64)
+        start_score = float(score_function(original[np.newaxis])[0])
+        queries = 1
+        if goal_function(original, start_score):
+            return ExplorationResult(True, original.copy(), start_score, [], queries)
+
+        beam: List[Tuple[np.ndarray, float, List[str]]] = [(original.copy(), start_score, [])]
+        best_window, best_score, best_path = original.copy(), start_score, []
+
+        for _ in range(self.max_depth):
+            candidates: List[Tuple[np.ndarray, float, List[str]]] = []
+            for window, _, path in beam:
+                edges = _expand(window, original, transformers, constraint)
+                if not edges:
+                    continue
+                batch = np.stack([edge.window for edge in edges])
+                scores = score_function(batch)
+                queries += len(edges)
+                for edge, score in zip(edges, scores):
+                    candidates.append((edge.window, float(score), path + [edge.description]))
+            if not candidates:
+                break
+            candidates.sort(key=lambda item: item[1], reverse=True)
+            beam = candidates[: self.beam_width]
+            if beam[0][1] > best_score:
+                best_window, best_score, best_path = beam[0]
+            if goal_function(best_window, best_score):
+                return ExplorationResult(True, best_window, best_score, best_path, queries)
+        return ExplorationResult(
+            goal_function(best_window, best_score), best_window, best_score, best_path, queries
+        )
+
+
+@dataclass
+class RandomExplorer(Explorer):
+    """Uniform random walks through the transformation graph (baseline)."""
+
+    max_depth: int = 3
+    n_walks: int = 10
+    seed: int = 0
+
+    def search(
+        self,
+        original: np.ndarray,
+        transformers: Sequence[Transformer],
+        constraint: Constraint,
+        score_function: ScoreFunction,
+        goal_function: GoalFunction,
+    ) -> ExplorationResult:
+        rng = as_random_state(self.seed)
+        original = np.asarray(original, dtype=np.float64)
+        best_window = original.copy()
+        best_score = float(score_function(original[np.newaxis])[0])
+        best_path: List[str] = []
+        queries = 1
+        if goal_function(best_window, best_score):
+            return ExplorationResult(True, best_window, best_score, best_path, queries)
+
+        for _ in range(self.n_walks):
+            current = original.copy()
+            path: List[str] = []
+            for _ in range(self.max_depth):
+                edges = _expand(current, original, transformers, constraint)
+                if not edges:
+                    break
+                edge = edges[int(rng.integers(0, len(edges)))]
+                current = edge.window
+                path.append(edge.description)
+            score = float(score_function(current[np.newaxis])[0])
+            queries += 1
+            if score > best_score:
+                best_window, best_score, best_path = current, score, path
+            if goal_function(best_window, best_score):
+                return ExplorationResult(True, best_window, best_score, best_path, queries)
+        return ExplorationResult(
+            goal_function(best_window, best_score), best_window, best_score, best_path, queries
+        )

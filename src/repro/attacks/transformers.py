@@ -1,0 +1,150 @@
+"""Input transformations available to the evasion adversary.
+
+URET models evasion as a search over a graph of input transformations.  Each
+transformer proposes candidate edges (modified copies of the current window);
+the explorer picks which edge to follow based on the target model's response.
+
+All transformers here only touch the CGM channel of the feature window, in
+line with the paper's threat model (the adversary compromises the Bluetooth
+link between the CGM sensor and the smartphone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.cohort import CGM_COLUMN
+
+
+@dataclass(frozen=True)
+class TransformationEdge:
+    """One candidate transformation: the resulting window plus a description."""
+
+    window: np.ndarray
+    description: str
+
+    def __post_init__(self):
+        object.__setattr__(self, "window", np.asarray(self.window, dtype=np.float64))
+
+
+class Transformer:
+    """Interface: propose candidate transformed windows."""
+
+    def candidates(self, window: np.ndarray) -> List[TransformationEdge]:
+        raise NotImplementedError
+
+
+@dataclass
+class SuffixLevelTransformer(Transformer):
+    """Overwrite the last ``k`` CGM samples with a constant plausible level.
+
+    This is the workhorse transformation: the adversary replaces the most
+    recent glucose readings (the ones that dominate the forecaster's output)
+    with a chosen hyperglycemic level.
+    """
+
+    levels: Sequence[float] = (185.0, 220.0, 260.0, 320.0, 400.0)
+    suffix_lengths: Sequence[int] = (2, 4, 6, 12)
+    feature_column: int = CGM_COLUMN
+
+    def candidates(self, window: np.ndarray) -> List[TransformationEdge]:
+        window = np.asarray(window, dtype=np.float64)
+        edges: List[TransformationEdge] = []
+        history = window.shape[0]
+        for suffix in self.suffix_lengths:
+            length = min(suffix, history)
+            for level in self.levels:
+                candidate = window.copy()
+                candidate[history - length :, self.feature_column] = level
+                edges.append(
+                    TransformationEdge(candidate, f"set_last_{length}_to_{level:g}")
+                )
+        return edges
+
+
+@dataclass
+class SuffixOffsetTransformer(Transformer):
+    """Add a constant offset to the last ``k`` CGM samples."""
+
+    offsets: Sequence[float] = (20.0, 40.0, 80.0, 120.0)
+    suffix_lengths: Sequence[int] = (3, 6, 12)
+    feature_column: int = CGM_COLUMN
+
+    def candidates(self, window: np.ndarray) -> List[TransformationEdge]:
+        window = np.asarray(window, dtype=np.float64)
+        edges: List[TransformationEdge] = []
+        history = window.shape[0]
+        for suffix in self.suffix_lengths:
+            length = min(suffix, history)
+            for offset in self.offsets:
+                candidate = window.copy()
+                candidate[history - length :, self.feature_column] += offset
+                edges.append(
+                    TransformationEdge(candidate, f"offset_last_{length}_by_{offset:g}")
+                )
+        return edges
+
+
+@dataclass
+class RampTransformer(Transformer):
+    """Add a linearly increasing ramp to the CGM suffix.
+
+    A ramp mimics a rapidly rising glucose trend, which forecasting models
+    extrapolate upward; it is often stealthier than a flat overwrite because
+    the early samples stay close to the benign trace.
+    """
+
+    final_offsets: Sequence[float] = (60.0, 120.0, 200.0)
+    suffix_lengths: Sequence[int] = (6, 12)
+    feature_column: int = CGM_COLUMN
+
+    def candidates(self, window: np.ndarray) -> List[TransformationEdge]:
+        window = np.asarray(window, dtype=np.float64)
+        edges: List[TransformationEdge] = []
+        history = window.shape[0]
+        for suffix in self.suffix_lengths:
+            length = min(suffix, history)
+            ramp_base = np.linspace(0.0, 1.0, num=length)
+            for final_offset in self.final_offsets:
+                candidate = window.copy()
+                candidate[history - length :, self.feature_column] += ramp_base * final_offset
+                edges.append(
+                    TransformationEdge(candidate, f"ramp_last_{length}_to_{final_offset:g}")
+                )
+        return edges
+
+
+@dataclass
+class ScaleTransformer(Transformer):
+    """Multiply the CGM suffix by a factor greater than one."""
+
+    factors: Sequence[float] = (1.2, 1.5, 2.0)
+    suffix_lengths: Sequence[int] = (6, 12)
+    feature_column: int = CGM_COLUMN
+
+    def candidates(self, window: np.ndarray) -> List[TransformationEdge]:
+        window = np.asarray(window, dtype=np.float64)
+        edges: List[TransformationEdge] = []
+        history = window.shape[0]
+        for suffix in self.suffix_lengths:
+            length = min(suffix, history)
+            for factor in self.factors:
+                candidate = window.copy()
+                candidate[history - length :, self.feature_column] *= factor
+                edges.append(
+                    TransformationEdge(candidate, f"scale_last_{length}_by_{factor:g}")
+                )
+        return edges
+
+
+def default_transformers() -> List[Transformer]:
+    """The default transformation set used by the attack campaigns."""
+    return [
+        SuffixLevelTransformer(),
+        SuffixOffsetTransformer(),
+        RampTransformer(),
+        ScaleTransformer(),
+    ]

@@ -1,0 +1,157 @@
+"""The evasion attack engine (URET-style).
+
+The adversary's goal, following the paper's threat model, is to make the
+glucose forecaster predict hyperglycemia while the patient's true state is
+normal or hypoglycemic, by manipulating only the CGM measurements and keeping
+them within a plausible hyperglycemic range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.constraints import Constraint, constraint_for_scenario
+from repro.attacks.explorers import Explorer, GreedyExplorer
+from repro.attacks.transformers import Transformer, default_transformers
+from repro.glucose.predictor import GlucosePredictor
+from repro.glucose.states import (
+    GlucoseState,
+    Scenario,
+    classify_glucose,
+    hyperglycemia_threshold,
+)
+
+
+@dataclass
+class AttackResult:
+    """Outcome of attacking a single input window."""
+
+    eligible: bool
+    success: bool
+    scenario: Scenario
+    benign_window: np.ndarray
+    adversarial_window: np.ndarray
+    benign_prediction: float
+    adversarial_prediction: float
+    benign_state: GlucoseState
+    adversarial_state: GlucoseState
+    queries: int = 0
+    path: List[str] = field(default_factory=list)
+
+    @property
+    def perturbation_norm(self) -> float:
+        """L2 norm of the CGM perturbation (mg/dL)."""
+        return float(np.linalg.norm(self.adversarial_window - self.benign_window))
+
+
+class EvasionAttack:
+    """Search-based evasion attack against a glucose forecaster.
+
+    Parameters
+    ----------
+    predictor:
+        The target model (personalized or aggregate forecaster).
+    transformers:
+        Transformation set defining the search graph; defaults to the paper's
+        CGM-only manipulation set.
+    explorer:
+        Search strategy (greedy by default).
+    """
+
+    def __init__(
+        self,
+        predictor: GlucosePredictor,
+        transformers: Optional[Sequence[Transformer]] = None,
+        explorer: Optional[Explorer] = None,
+    ):
+        self.predictor = predictor
+        self.transformers = list(transformers) if transformers is not None else default_transformers()
+        self.explorer = explorer or GreedyExplorer()
+
+    # ------------------------------------------------------------------ helpers
+    def _score_function(self):
+        def score(batch: np.ndarray) -> np.ndarray:
+            return self.predictor.predict(batch)
+
+        return score
+
+    def _goal_function(self, scenario: Scenario):
+        threshold = hyperglycemia_threshold(scenario)
+
+        def goal(window: np.ndarray, score: float) -> bool:
+            return score > threshold
+
+        return goal
+
+    # ------------------------------------------------------------------- attack
+    def attack_window(
+        self,
+        window: np.ndarray,
+        scenario: Scenario = Scenario.POSTPRANDIAL,
+        constraint: Optional[Constraint] = None,
+    ) -> AttackResult:
+        """Attack one ``(history, n_features)`` window.
+
+        A window is *eligible* when the benign prediction is not already
+        hyperglycemic — attacking an already-hyper prediction would not change
+        the diagnosis.  Ineligible windows are returned unmodified with
+        ``eligible=False``.
+        """
+        window = np.asarray(window, dtype=np.float64)
+        constraint = constraint or constraint_for_scenario(scenario)
+        benign_prediction = self.predictor.predict_one(window)
+        benign_state = classify_glucose(benign_prediction, scenario)
+
+        if benign_state == GlucoseState.HYPER:
+            return AttackResult(
+                eligible=False,
+                success=False,
+                scenario=scenario,
+                benign_window=window,
+                adversarial_window=window.copy(),
+                benign_prediction=benign_prediction,
+                adversarial_prediction=benign_prediction,
+                benign_state=benign_state,
+                adversarial_state=benign_state,
+                queries=1,
+            )
+
+        result = self.explorer.search(
+            original=window,
+            transformers=self.transformers,
+            constraint=constraint,
+            score_function=self._score_function(),
+            goal_function=self._goal_function(scenario),
+        )
+        adversarial_state = classify_glucose(result.score, scenario)
+        return AttackResult(
+            eligible=True,
+            success=bool(result.success),
+            scenario=scenario,
+            benign_window=window,
+            adversarial_window=result.window,
+            benign_prediction=benign_prediction,
+            adversarial_prediction=float(result.score),
+            benign_state=benign_state,
+            adversarial_state=adversarial_state,
+            queries=result.queries,
+            path=list(result.path),
+        )
+
+    def attack_batch(
+        self,
+        windows: np.ndarray,
+        scenarios: Sequence[Scenario],
+        constraint: Optional[Constraint] = None,
+    ) -> List[AttackResult]:
+        """Attack a batch of windows, one scenario per window."""
+        windows = np.asarray(windows, dtype=np.float64)
+        if len(windows) != len(scenarios):
+            raise ValueError("windows and scenarios must have the same length")
+        return [
+            self.attack_window(window, scenario, constraint)
+            for window, scenario in zip(windows, scenarios)
+        ]

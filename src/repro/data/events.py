@@ -1,0 +1,219 @@
+"""Behavioural event generators: meals, insulin boluses, and exercise.
+
+The generators produce minute-resolution exogenous input arrays for the
+physiology simulator.  Patient *behaviour* (meal regularity, bolus compliance,
+carb-counting accuracy) is what differentiates well-controlled from poorly
+controlled patients and therefore drives the heterogeneity in the benign
+normal-to-abnormal glucose ratio that the paper's Figure 4 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.physiology import SimulationInputs
+from repro.utils.rng import RandomState, as_random_state
+
+MINUTES_PER_DAY = 1440
+
+
+@dataclass
+class MealPlan:
+    """Daily meal schedule template.
+
+    Attributes
+    ----------
+    meal_times:
+        Nominal minute-of-day for each meal (e.g. breakfast/lunch/dinner).
+    meal_carbs:
+        Nominal carbohydrate grams for each meal.
+    time_jitter_std:
+        Standard deviation (minutes) of the meal-time jitter.
+    carb_jitter_std:
+        Standard deviation (grams) of the carb-amount jitter.
+    snack_probability:
+        Daily probability of an extra snack.
+    snack_carbs:
+        Nominal snack carbohydrate grams.
+    skip_probability:
+        Probability of skipping any given meal.
+    """
+
+    meal_times: Tuple[int, ...] = (7 * 60, 12 * 60 + 30, 18 * 60 + 30)
+    meal_carbs: Tuple[float, ...] = (45.0, 60.0, 70.0)
+    time_jitter_std: float = 20.0
+    carb_jitter_std: float = 8.0
+    snack_probability: float = 0.3
+    snack_carbs: float = 20.0
+    skip_probability: float = 0.05
+
+    def __post_init__(self):
+        if len(self.meal_times) != len(self.meal_carbs):
+            raise ValueError("meal_times and meal_carbs must have the same length")
+
+
+@dataclass
+class MealEvent:
+    """A single carbohydrate intake event."""
+
+    minute: int
+    carbs: float
+    announced: bool = True
+
+
+@dataclass
+class BolusPolicy:
+    """How the patient doses meal boluses and corrections.
+
+    Attributes
+    ----------
+    carb_ratio:
+        Grams of carbohydrate covered by one unit of insulin.
+    correction_factor:
+        mg/dL of glucose lowered by one unit of insulin.
+    target_glucose:
+        Correction target in mg/dL.
+    compliance:
+        Probability that a meal is actually bolused for.
+    timing_offset:
+        Mean bolus timing relative to the meal in minutes; negative values
+        model pre-bolusing, which is typical of well-controlled patients and
+        blunts postprandial spikes.
+    timing_error_std:
+        Standard deviation (minutes) of bolus timing relative to the meal.
+    counting_error_std:
+        Relative error of carbohydrate counting (fraction of meal carbs).
+    correction_probability:
+        Daily probability of issuing an extra correction bolus a couple of
+        hours after a meal.  Over-corrections are the main source of
+        (transient) hypoglycemia in the synthetic traces.
+    correction_units:
+        Range of correction bolus sizes in insulin units.
+    """
+
+    carb_ratio: float = 10.0
+    correction_factor: float = 40.0
+    target_glucose: float = 110.0
+    compliance: float = 0.95
+    timing_offset: float = 0.0
+    timing_error_std: float = 8.0
+    counting_error_std: float = 0.1
+    correction_probability: float = 0.35
+    correction_units: Tuple[float, float] = (1.0, 2.5)
+
+
+@dataclass
+class ExercisePlan:
+    """Daily exercise habits."""
+
+    session_probability: float = 0.35
+    start_window: Tuple[int, int] = (16 * 60, 20 * 60)
+    duration_minutes: Tuple[int, int] = (20, 60)
+    intensity: Tuple[float, float] = (0.3, 0.8)
+
+
+@dataclass
+class BehaviourProfile:
+    """Complete behavioural description of a patient."""
+
+    meal_plan: MealPlan = field(default_factory=MealPlan)
+    bolus_policy: BolusPolicy = field(default_factory=BolusPolicy)
+    exercise_plan: ExercisePlan = field(default_factory=ExercisePlan)
+    basal_rate: float = 1.0
+
+
+class DailyScheduleGenerator:
+    """Generate minute-resolution exogenous inputs for a number of days."""
+
+    def __init__(self, behaviour: BehaviourProfile, seed=None):
+        self.behaviour = behaviour
+        self._rng = as_random_state(seed)
+
+    # ------------------------------------------------------------------ meals
+    def _daily_meals(self, rng: RandomState) -> List[MealEvent]:
+        plan = self.behaviour.meal_plan
+        events: List[MealEvent] = []
+        for nominal_minute, nominal_carbs in zip(plan.meal_times, plan.meal_carbs):
+            if rng.random() < plan.skip_probability:
+                continue
+            minute = int(np.clip(rng.normal(nominal_minute, plan.time_jitter_std), 0, 1439))
+            carbs = max(5.0, rng.normal(nominal_carbs, plan.carb_jitter_std))
+            events.append(MealEvent(minute=minute, carbs=carbs))
+        if rng.random() < plan.snack_probability:
+            minute = int(rng.uniform(14 * 60, 16 * 60))
+            carbs = max(5.0, rng.normal(plan.snack_carbs, 5.0))
+            # Snacks are often not announced to the bolus calculator.
+            events.append(MealEvent(minute=minute, carbs=carbs, announced=rng.random() < 0.5))
+        events.sort(key=lambda event: event.minute)
+        return events
+
+    def _bolus_for_meal(self, meal: MealEvent, rng: RandomState) -> Optional[Tuple[int, float]]:
+        policy = self.behaviour.bolus_policy
+        if not meal.announced or rng.random() > policy.compliance:
+            return None
+        counted_carbs = meal.carbs * (1.0 + rng.normal(0.0, policy.counting_error_std))
+        dose = max(0.0, counted_carbs / policy.carb_ratio)
+        minute = int(
+            np.clip(
+                meal.minute + policy.timing_offset + rng.normal(0.0, policy.timing_error_std),
+                0,
+                1439,
+            )
+        )
+        return minute, dose
+
+    def _daily_correction(
+        self, meals: Sequence[MealEvent], rng: RandomState
+    ) -> Optional[Tuple[int, float]]:
+        """Occasionally add a post-meal correction bolus (may over-correct)."""
+        policy = self.behaviour.bolus_policy
+        if not meals or rng.random() > policy.correction_probability:
+            return None
+        meal = meals[int(rng.integers(0, len(meals)))]
+        minute = int(np.clip(meal.minute + rng.uniform(90, 200), 0, 1439))
+        dose = float(rng.uniform(*policy.correction_units))
+        return minute, dose
+
+    def _daily_exercise(self, rng: RandomState) -> Optional[Tuple[int, int, float]]:
+        plan = self.behaviour.exercise_plan
+        if rng.random() > plan.session_probability:
+            return None
+        start = int(rng.uniform(*plan.start_window))
+        duration = int(rng.uniform(*plan.duration_minutes))
+        intensity = float(rng.uniform(*plan.intensity))
+        return start, duration, intensity
+
+    # ------------------------------------------------------------------ driver
+    def generate(self, days: int) -> SimulationInputs:
+        """Generate exogenous inputs for ``days`` consecutive days."""
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days}")
+        total_minutes = days * MINUTES_PER_DAY
+        carbs = np.zeros(total_minutes)
+        bolus = np.zeros(total_minutes)
+        basal = np.full(total_minutes, self.behaviour.basal_rate)
+        exercise = np.zeros(total_minutes)
+
+        for day in range(days):
+            offset = day * MINUTES_PER_DAY
+            meals = self._daily_meals(self._rng)
+            for meal in meals:
+                carbs[offset + meal.minute] += meal.carbs
+                bolus_event = self._bolus_for_meal(meal, self._rng)
+                if bolus_event is not None:
+                    minute, dose = bolus_event
+                    bolus[offset + minute] += dose
+            correction = self._daily_correction(meals, self._rng)
+            if correction is not None:
+                minute, dose = correction
+                bolus[offset + minute] += dose
+            session = self._daily_exercise(self._rng)
+            if session is not None:
+                start, duration, intensity = session
+                end = min(start + duration, MINUTES_PER_DAY)
+                exercise[offset + start : offset + end] = intensity
+
+        return SimulationInputs(carbs=carbs, bolus=bolus, basal=basal, exercise=exercise)

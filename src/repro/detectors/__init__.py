@@ -1,0 +1,28 @@
+"""Static anomaly detectors: kNN, OneClassSVM, MAD-GAN, and an ensemble."""
+
+from repro.detectors.base import AnomalyDetector, ScaledDetectorMixin, ThresholdCalibrator
+from repro.detectors.knn import KNNClassifierDetector, KNNDistanceDetector, minkowski_distances
+from repro.detectors.ocsvm import OneClassSVMDetector, kernel_matrix
+from repro.detectors.madgan import (
+    MADGANDetector,
+    MADGANTrainingHistory,
+    SequenceDiscriminator,
+    SequenceGenerator,
+)
+from repro.detectors.ensemble import VotingEnsembleDetector
+
+__all__ = [
+    "AnomalyDetector",
+    "ScaledDetectorMixin",
+    "ThresholdCalibrator",
+    "KNNClassifierDetector",
+    "KNNDistanceDetector",
+    "minkowski_distances",
+    "OneClassSVMDetector",
+    "kernel_matrix",
+    "MADGANDetector",
+    "MADGANTrainingHistory",
+    "SequenceGenerator",
+    "SequenceDiscriminator",
+    "VotingEnsembleDetector",
+]

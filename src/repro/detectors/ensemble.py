@@ -1,0 +1,51 @@
+"""A simple majority-vote ensemble over anomaly detectors.
+
+Not part of the paper's evaluation, but a natural extension: the paper's
+framework trains *any* static detector selectively, and combining the three
+detectors it studies is the obvious next step.  The ensemble is exercised by
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.utils.validation import check_array
+
+
+class VotingEnsembleDetector(AnomalyDetector):
+    """Flag a window as malicious when at least ``min_votes`` members do."""
+
+    name = "ensemble"
+
+    def __init__(self, detectors: Sequence[AnomalyDetector], min_votes: Optional[int] = None):
+        if not detectors:
+            raise ValueError("the ensemble needs at least one detector")
+        self.detectors: List[AnomalyDetector] = list(detectors)
+        if min_votes is None:
+            min_votes = len(self.detectors) // 2 + 1
+        if not 1 <= min_votes <= len(self.detectors):
+            raise ValueError("min_votes must be between 1 and the number of detectors")
+        self.min_votes = int(min_votes)
+
+    def fit(self, windows: np.ndarray, labels: Optional[np.ndarray] = None) -> "VotingEnsembleDetector":
+        for detector in self.detectors:
+            try:
+                detector.fit(windows, labels)
+            except ValueError:
+                # Unsupervised members reject labels-only problems and vice
+                # versa; fall back to benign-only fitting when possible.
+                detector.fit(windows)
+        return self
+
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        check_array(windows, "windows", ndim=3, min_samples=1)
+        votes = np.stack([detector.predict(windows) for detector in self.detectors])
+        return votes.mean(axis=0)
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        votes = np.stack([detector.predict(windows) for detector in self.detectors])
+        return (votes.sum(axis=0) >= self.min_votes).astype(int)

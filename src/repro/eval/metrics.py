@@ -1,0 +1,113 @@
+"""Detection metrics: confusion matrix, precision, recall, F1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_consistent_length
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion matrix for malicious-sample detection.
+
+    Positive class = malicious/anomalous (label 1).
+    """
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+        )
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def false_negative_rate(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.false_negatives / denominator if denominator else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denominator = self.false_positives + self.true_negatives
+        return self.false_positives / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positives + self.true_negatives) / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "false_negative_rate": self.false_negative_rate,
+            "false_positive_rate": self.false_positive_rate,
+            "accuracy": self.accuracy,
+            "true_positives": float(self.true_positives),
+            "false_positives": float(self.false_positives),
+            "true_negatives": float(self.true_negatives),
+            "false_negatives": float(self.false_negatives),
+        }
+
+
+def confusion_matrix(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> ConfusionMatrix:
+    """Build a binary confusion matrix (positive class = 1)."""
+    true_labels = check_array(true_labels, "true_labels", dtype=None, ndim=1)
+    predicted_labels = check_array(predicted_labels, "predicted_labels", dtype=None, ndim=1)
+    check_consistent_length(true_labels, predicted_labels)
+    true_labels = np.asarray(true_labels).astype(int)
+    predicted_labels = np.asarray(predicted_labels).astype(int)
+    if not set(np.unique(true_labels)) <= {0, 1} or not set(np.unique(predicted_labels)) <= {0, 1}:
+        raise ValueError("labels must be binary (0/1)")
+    return ConfusionMatrix(
+        true_positives=int(np.sum((true_labels == 1) & (predicted_labels == 1))),
+        false_positives=int(np.sum((true_labels == 0) & (predicted_labels == 1))),
+        true_negatives=int(np.sum((true_labels == 0) & (predicted_labels == 0))),
+        false_negatives=int(np.sum((true_labels == 1) & (predicted_labels == 0))),
+    )
+
+
+def precision_score(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    """Precision of the malicious class."""
+    return confusion_matrix(true_labels, predicted_labels).precision
+
+
+def recall_score(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    """Recall of the malicious class (1 - false negative rate)."""
+    return confusion_matrix(true_labels, predicted_labels).recall
+
+
+def f1_score(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    """Harmonic mean of precision and recall."""
+    return confusion_matrix(true_labels, predicted_labels).f1
+
+
+def percentage_change(new_value: float, reference_value: float) -> float:
+    """Relative change in percent, e.g. +27.5 for the paper's recall claim."""
+    if reference_value == 0:
+        return float("inf") if new_value > 0 else 0.0
+    return 100.0 * (new_value - reference_value) / reference_value

@@ -1,0 +1,44 @@
+"""Target glucose prediction model and glucose-state logic."""
+
+from repro.glucose.states import (
+    FASTING_HYPER_THRESHOLD,
+    HYPOGLYCEMIA_THRESHOLD,
+    MAX_PLAUSIBLE_GLUCOSE,
+    POSTPRANDIAL_HYPER_THRESHOLD,
+    POSTPRANDIAL_WINDOW_SAMPLES,
+    GlucoseState,
+    Scenario,
+    StateTransition,
+    classify_glucose,
+    classify_series,
+    hyperglycemia_threshold,
+    is_abnormal,
+    normal_to_abnormal_ratio,
+    scenario_for_samples,
+    transition_between,
+)
+from repro.glucose.predictor import GlucosePredictor, TrainingHistory
+from repro.glucose.models import AGGREGATE_KEY, GlucoseModelZoo, ZooEvaluation
+
+__all__ = [
+    "FASTING_HYPER_THRESHOLD",
+    "HYPOGLYCEMIA_THRESHOLD",
+    "MAX_PLAUSIBLE_GLUCOSE",
+    "POSTPRANDIAL_HYPER_THRESHOLD",
+    "POSTPRANDIAL_WINDOW_SAMPLES",
+    "GlucoseState",
+    "Scenario",
+    "StateTransition",
+    "classify_glucose",
+    "classify_series",
+    "hyperglycemia_threshold",
+    "is_abnormal",
+    "normal_to_abnormal_ratio",
+    "scenario_for_samples",
+    "transition_between",
+    "GlucosePredictor",
+    "TrainingHistory",
+    "AGGREGATE_KEY",
+    "GlucoseModelZoo",
+    "ZooEvaluation",
+]

@@ -1,0 +1,185 @@
+"""The target glucose prediction DNN.
+
+The paper approximates the (confidential) commercial glucose prediction
+algorithm with the bidirectional-LSTM time-series forecaster of Rubin-Falcone
+et al.  This module implements the same architecture class on top of the
+:mod:`repro.nn` substrate: a BiLSTM encoder over the last hour of multivariate
+CGM data followed by a dense regression head that predicts the CGM value 30
+minutes ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.dataset import DEFAULT_HISTORY, DEFAULT_HORIZON, WindowScaler
+from repro.nn import Adam, BatchIterator, BiLSTM, Dense, Sequential, Tensor, mse_loss
+from repro.utils.rng import as_random_state
+from repro.utils.validation import check_array, check_consistent_length, check_fitted
+
+
+@dataclass
+class TrainingHistory:
+    """Loss curve recorded during :meth:`GlucosePredictor.fit`."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs were recorded")
+        return self.epoch_losses[-1]
+
+    @property
+    def improved(self) -> bool:
+        """True when the final loss is lower than the first epoch's loss."""
+        return len(self.epoch_losses) >= 2 and self.epoch_losses[-1] < self.epoch_losses[0]
+
+
+class GlucosePredictor:
+    """Bidirectional-LSTM glucose forecaster.
+
+    Parameters
+    ----------
+    history:
+        Number of past five-minute samples in the input window.
+    horizon:
+        Forecast horizon in five-minute steps (6 = 30 minutes).
+    hidden_size:
+        Width of each LSTM direction.
+    epochs, batch_size, learning_rate:
+        Training hyper-parameters.
+    gradient_clip:
+        Maximum global gradient norm during training.
+    input_clip_std:
+        Inputs are standardized per feature and clamped to this many standard
+        deviations of the training distribution before entering the network
+        (``None`` disables clamping).  This models the sensor-calibration
+        clamp of a deployed medical forecaster: readings far outside the range
+        the model was calibrated on are not trusted verbatim.  It also ties a
+        patient's resilience to the spread of their benign data — patients
+        with tight glucose control leave an adversary much less headroom,
+        which is the resilience mechanism the paper describes.
+    seed:
+        Seed controlling weight initialization and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        history: int = DEFAULT_HISTORY,
+        horizon: int = DEFAULT_HORIZON,
+        n_features: int = 4,
+        hidden_size: int = 16,
+        epochs: int = 12,
+        batch_size: int = 64,
+        learning_rate: float = 0.01,
+        gradient_clip: float = 5.0,
+        input_clip_std: Optional[float] = 3.0,
+        seed=0,
+    ):
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if input_clip_std is not None and input_clip_std <= 0:
+            raise ValueError("input_clip_std must be positive or None")
+        self.history = int(history)
+        self.horizon = int(horizon)
+        self.n_features = int(n_features)
+        self.hidden_size = int(hidden_size)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.gradient_clip = float(gradient_clip)
+        self.input_clip_std = None if input_clip_std is None else float(input_clip_std)
+        self._rng = as_random_state(seed)
+
+        model_seed, shuffle_seed = self._rng.spawn(2)
+        self._shuffle_seed = shuffle_seed
+        self.model = Sequential(
+            BiLSTM(self.n_features, self.hidden_size, seed=model_seed),
+            Dense(2 * self.hidden_size, self.hidden_size, activation="tanh", seed=model_seed.derive("head1")),
+            Dense(self.hidden_size, 1, seed=model_seed.derive("head2")),
+        )
+        self.scaler: Optional[WindowScaler] = None
+        self.history_: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------ training
+    def fit(self, windows: np.ndarray, targets: np.ndarray) -> "GlucosePredictor":
+        """Train the forecaster on raw (unscaled) windows and CGM targets."""
+        windows = check_array(windows, "windows", ndim=3, min_samples=1)
+        targets = check_array(targets, "targets", ndim=1)
+        check_consistent_length(windows, targets)
+        if windows.shape[1] != self.history or windows.shape[2] != self.n_features:
+            raise ValueError(
+                f"windows must have shape (n, {self.history}, {self.n_features}), got {windows.shape}"
+            )
+
+        self.scaler = WindowScaler().fit(windows)
+        scaled_windows = self._clip_scaled(self.scaler.transform(windows))
+        scaled_targets = self.scaler.scale_target(targets).reshape(-1, 1)
+
+        optimizer = Adam(self.model.parameters(), learning_rate=self.learning_rate)
+        iterator = BatchIterator(
+            scaled_windows,
+            scaled_targets,
+            batch_size=self.batch_size,
+            shuffle=True,
+            seed=self._shuffle_seed,
+        )
+        history = TrainingHistory()
+        self.model.train()
+        for _ in range(self.epochs):
+            epoch_losses = []
+            for batch_inputs, batch_targets in iterator:
+                optimizer.zero_grad()
+                predictions = self.model(Tensor(batch_inputs))
+                loss = mse_loss(predictions, Tensor(batch_targets))
+                loss.backward()
+                optimizer.clip_gradients(self.gradient_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            history.epoch_losses.append(float(np.mean(epoch_losses)))
+        self.model.eval()
+        self.history_ = history
+        return self
+
+    # ----------------------------------------------------------------- inference
+    def _clip_scaled(self, scaled_windows: np.ndarray) -> np.ndarray:
+        """Clamp standardized inputs to the calibrated training range."""
+        if self.input_clip_std is None:
+            return scaled_windows
+        return np.clip(scaled_windows, -self.input_clip_std, self.input_clip_std)
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Predict future CGM values (mg/dL) for raw input windows."""
+        check_fitted(self, ("scaler",))
+        windows = check_array(windows, "windows", ndim=3, min_samples=1)
+        scaled = self._clip_scaled(self.scaler.transform(windows))
+        outputs = self.model(Tensor(scaled)).numpy().reshape(-1)
+        return self.scaler.unscale_target(outputs)
+
+    def predict_one(self, window: np.ndarray) -> float:
+        """Predict for a single ``(history, n_features)`` window."""
+        window = check_array(window, "window", ndim=2)
+        return float(self.predict(window[np.newaxis])[0])
+
+    def evaluate(self, windows: np.ndarray, targets: np.ndarray) -> Dict[str, float]:
+        """Compute RMSE and MAE (mg/dL) on a held-out split."""
+        targets = check_array(targets, "targets", ndim=1)
+        predictions = self.predict(windows)
+        check_consistent_length(predictions, targets)
+        errors = predictions - targets
+        return {
+            "rmse": float(np.sqrt(np.mean(errors**2))),
+            "mae": float(np.mean(np.abs(errors))),
+        }
+
+    # -------------------------------------------------------------- persistence
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Model weights (the scaler is not included)."""
+        return self.model.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.model.load_state_dict(state)

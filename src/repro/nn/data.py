@@ -1,0 +1,68 @@
+"""Mini-batch iteration helpers for training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_random_state
+from repro.utils.validation import check_consistent_length
+
+
+class BatchIterator:
+    """Iterate over aligned arrays in (optionally shuffled) mini-batches.
+
+    Parameters
+    ----------
+    inputs, targets:
+        Aligned arrays; ``targets`` may be ``None`` for unsupervised data.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Whether to reshuffle sample order at the start of each epoch.
+    drop_last:
+        Drop the final incomplete batch (useful for GAN training where
+        batch-size mismatches complicate the discriminator).
+    seed:
+        Seed controlling the shuffle order.
+    """
+
+    def __init__(
+        self,
+        inputs,
+        targets=None,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed=None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.inputs = np.asarray(inputs, dtype=np.float64)
+        self.targets = None if targets is None else np.asarray(targets, dtype=np.float64)
+        if self.targets is not None:
+            check_consistent_length(self.inputs, self.targets)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = as_random_state(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.inputs), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        count = len(self.inputs)
+        order = np.arange(count)
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        for start in range(0, count, self.batch_size):
+            index = order[start : start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                break
+            batch_inputs = self.inputs[index]
+            batch_targets = None if self.targets is None else self.targets[index]
+            yield batch_inputs, batch_targets

@@ -1,0 +1,69 @@
+"""Weight initialization schemes for the neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_random_state
+
+
+def xavier_uniform(shape: Tuple[int, int], rng: RandomState) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, int], rng: RandomState) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = shape[0], shape[-1]
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, int], rng: RandomState) -> np.ndarray:
+    """He/Kaiming uniform initialization (suited to ReLU layers)."""
+    fan_in = shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], rng: RandomState, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization, commonly used for recurrent weights."""
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(matrix)
+    q = q * np.sign(np.diag(r))
+    return gain * q[:rows, :cols]
+
+
+def zeros_init(shape: Tuple[int, ...], rng: RandomState = None) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+_INITIALIZERS = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "orthogonal": orthogonal,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    if name not in _INITIALIZERS:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(_INITIALIZERS)}"
+        )
+    return _INITIALIZERS[name]
+
+
+def initialize(name: str, shape: Tuple[int, ...], seed=None) -> np.ndarray:
+    """Create an initialized array via a named scheme."""
+    rng = as_random_state(seed)
+    return get_initializer(name)(shape, rng)

@@ -1,0 +1,243 @@
+"""Layer abstractions built on the autograd :class:`~repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.tensor import Tensor, as_tensor
+from repro.utils.rng import RandomState, as_random_state
+
+_ACTIVATIONS = {
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "relu": lambda x: x.relu(),
+    "leaky_relu": lambda x: x.leaky_relu(),
+    "linear": lambda x: x,
+    None: lambda x: x,
+}
+
+
+def apply_activation(value: Tensor, activation: Optional[str]) -> Tensor:
+    """Apply a named activation function to a tensor."""
+    if activation not in _ACTIVATIONS:
+        raise ValueError(
+            f"unknown activation {activation!r}; available: "
+            f"{sorted(key for key in _ACTIVATIONS if key)}"
+        )
+    return _ACTIVATIONS[activation](value)
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable by its owning module."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses register :class:`Parameter` instances (directly or inside child
+    modules) and implement :meth:`forward`.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    def forward(self, *inputs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *inputs):
+        return self.forward(*inputs)
+
+    # ------------------------------------------------------------- traversal
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters in this module and its children."""
+        found: List[Parameter] = []
+        seen = set()
+        for value in self.__dict__.values():
+            candidates: Sequence = value if isinstance(value, (list, tuple)) else (value,)
+            for candidate in candidates:
+                if isinstance(candidate, Parameter) and id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    found.append(candidate)
+                elif isinstance(candidate, Module):
+                    for parameter in candidate.parameters():
+                        if id(parameter) not in seen:
+                            seen.add(id(parameter))
+                            found.append(parameter)
+        return found
+
+    def named_parameters(self, prefix: str = "") -> Dict[str, Parameter]:
+        """Return a flat ``{path: parameter}`` mapping."""
+        named: Dict[str, Parameter] = {}
+        for key, value in self.__dict__.items():
+            path = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                named[path] = value
+            elif isinstance(value, Module):
+                named.update(value.named_parameters(prefix=f"{path}."))
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    item_path = f"{path}.{index}"
+                    if isinstance(item, Parameter):
+                        named[item_path] = item
+                    elif isinstance(item, Module):
+                        named.update(item.named_parameters(prefix=f"{item_path}."))
+        return named
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        """Put the module (and children) into training mode."""
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (and children) into evaluation mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    # ---------------------------------------------------------- serialization
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter's value keyed by path."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters().items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        named = self.named_parameters()
+        missing = set(named) - set(state)
+        unexpected = set(state) - set(named)
+        if missing or unexpected:
+            raise ValueError(
+                f"state_dict mismatch; missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in named.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    def count_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(parameter.data.size for parameter in self.parameters()))
+
+
+class Dense(Module):
+    """A fully connected layer ``y = activation(x @ W + b)``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    activation:
+        Optional activation name (``tanh``, ``sigmoid``, ``relu``, ...).
+    weight_init:
+        Initializer name for the weight matrix.
+    seed:
+        Seed or :class:`RandomState` for initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Optional[str] = None,
+        weight_init: str = "xavier_uniform",
+        use_bias: bool = True,
+        seed=None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = as_random_state(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.use_bias = use_bias
+        initializer = get_initializer(weight_init)
+        self.weight = Parameter(initializer((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if use_bias else None
+
+    def forward(self, inputs) -> Tensor:
+        inputs = as_tensor(inputs)
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return apply_activation(output, self.activation)
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, rate: float = 0.5, seed=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = as_random_state(seed)
+
+    def forward(self, inputs) -> Tensor:
+        inputs = as_tensor(inputs)
+        if not self.training or self.rate == 0.0:
+            return inputs
+        keep_probability = 1.0 - self.rate
+        mask = (self._rng.random(inputs.shape) < keep_probability) / keep_probability
+        return inputs * Tensor(mask)
+
+
+class Activation(Module):
+    """A standalone activation layer."""
+
+    def __init__(self, activation: str):
+        super().__init__()
+        if activation not in _ACTIVATIONS or activation is None:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, inputs) -> Tensor:
+        return apply_activation(as_tensor(inputs), self.activation)
+
+
+class Sequential(Module):
+    """Compose modules by calling them in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def forward(self, inputs) -> Tensor:
+        output = inputs
+        for layer in self.layers:
+            output = layer(output)
+        return output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

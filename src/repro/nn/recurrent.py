@@ -1,0 +1,169 @@
+"""Recurrent layers: LSTM cell, unrolled LSTM, and bidirectional LSTM."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import orthogonal, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor, concatenate, stack
+from repro.utils.rng import as_random_state
+
+
+class LSTMCell(Module):
+    """A single LSTM step.
+
+    The four gate transformations are fused into one matrix multiplication for
+    both the input-to-hidden and hidden-to-hidden paths.  Gate order within the
+    fused matrices is ``[input, forget, cell, output]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed=None, forget_bias: float = 1.0):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = as_random_state(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+        self.weight_input = Parameter(
+            xavier_uniform((input_size, 4 * hidden_size), rng), name="weight_input"
+        )
+        self.weight_hidden = Parameter(
+            orthogonal((hidden_size, 4 * hidden_size), rng), name="weight_hidden"
+        )
+        bias = np.zeros(4 * hidden_size)
+        # A positive forget-gate bias keeps early gradients flowing through time.
+        bias[hidden_size : 2 * hidden_size] = forget_bias
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(
+        self, inputs, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """Advance one timestep.
+
+        Parameters
+        ----------
+        inputs:
+            Tensor of shape ``(batch, input_size)``.
+        state:
+            Tuple ``(hidden, cell)`` each of shape ``(batch, hidden_size)``.
+        """
+        inputs = as_tensor(inputs)
+        hidden, cell = state
+        gates = inputs @ self.weight_input + hidden @ self.weight_hidden + self.bias
+        size = self.hidden_size
+        input_gate = gates[:, 0:size].sigmoid()
+        forget_gate = gates[:, size : 2 * size].sigmoid()
+        candidate = gates[:, 2 * size : 3 * size].tanh()
+        output_gate = gates[:, 3 * size : 4 * size].sigmoid()
+
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Zero-valued hidden and cell state for a batch."""
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """An LSTM layer unrolled over a full sequence.
+
+    Parameters
+    ----------
+    input_size:
+        Number of features per timestep.
+    hidden_size:
+        Width of the hidden state.
+    return_sequences:
+        When True the layer outputs the hidden state at every timestep
+        (``(batch, time, hidden)``); otherwise only the final hidden state
+        (``(batch, hidden)``).
+    reverse:
+        Process the sequence from last timestep to first (used by
+        :class:`BiLSTM`).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        reverse: bool = False,
+        seed=None,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, seed=seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        self.reverse = reverse
+
+    def forward(self, inputs, initial_state: Optional[Tuple[Tensor, Tensor]] = None) -> Tensor:
+        inputs = as_tensor(inputs)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"LSTM expects inputs of shape (batch, time, features), got {inputs.shape}"
+            )
+        batch_size, timesteps, _ = inputs.shape
+        state = initial_state or self.cell.initial_state(batch_size)
+        hidden, cell = state
+
+        time_order = range(timesteps - 1, -1, -1) if self.reverse else range(timesteps)
+        outputs = []
+        for step in time_order:
+            step_input = inputs[:, step, :]
+            hidden, cell = self.cell(step_input, (hidden, cell))
+            outputs.append(hidden)
+
+        if not self.return_sequences:
+            return hidden
+        if self.reverse:
+            outputs = outputs[::-1]
+        return stack(outputs, axis=1)
+
+
+class BiLSTM(Module):
+    """A bidirectional LSTM that concatenates forward and backward states.
+
+    When ``return_sequences`` is False the output is the concatenation of the
+    final forward hidden state and the final backward hidden state, matching
+    the sequence-to-one forecasting architecture of Rubin-Falcone et al. used
+    as the paper's target glucose model.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        seed=None,
+    ):
+        super().__init__()
+        rng = as_random_state(seed)
+        forward_seed, backward_seed = rng.spawn(2)
+        self.forward_layer = LSTM(
+            input_size, hidden_size, return_sequences=return_sequences, seed=forward_seed
+        )
+        self.backward_layer = LSTM(
+            input_size,
+            hidden_size,
+            return_sequences=return_sequences,
+            reverse=True,
+            seed=backward_seed,
+        )
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.hidden_size
+
+    def forward(self, inputs) -> Tensor:
+        forward_out = self.forward_layer(inputs)
+        backward_out = self.backward_layer(inputs)
+        return concatenate([forward_out, backward_out], axis=-1)

@@ -1,0 +1,48 @@
+"""Risk profiling framework: the paper's core contribution."""
+
+from repro.risk.severity import PAPER_SEVERITY_TABLE, SeverityMatrix
+from repro.risk.quantify import RiskQuantifier, RiskSample
+from repro.risk.profile import RiskProfile, RiskProfileBuilder, profile_matrix
+from repro.risk.clustering import (
+    ClusteringOutcome,
+    DendrogramNode,
+    HierarchicalClustering,
+    MergeStep,
+    cluster_profiles,
+    pairwise_euclidean,
+)
+from repro.risk.selection import (
+    ALL_STRATEGIES,
+    STRATEGY_ALL,
+    STRATEGY_LESS_VULNERABLE,
+    STRATEGY_MORE_VULNERABLE,
+    STRATEGY_RANDOM,
+    SelectionPlanner,
+    TrainingSelection,
+)
+from repro.risk.framework import RiskProfilingFramework, VulnerabilityAssessment
+
+__all__ = [
+    "PAPER_SEVERITY_TABLE",
+    "SeverityMatrix",
+    "RiskQuantifier",
+    "RiskSample",
+    "RiskProfile",
+    "RiskProfileBuilder",
+    "profile_matrix",
+    "ClusteringOutcome",
+    "DendrogramNode",
+    "HierarchicalClustering",
+    "MergeStep",
+    "cluster_profiles",
+    "pairwise_euclidean",
+    "ALL_STRATEGIES",
+    "STRATEGY_ALL",
+    "STRATEGY_LESS_VULNERABLE",
+    "STRATEGY_MORE_VULNERABLE",
+    "STRATEGY_RANDOM",
+    "SelectionPlanner",
+    "TrainingSelection",
+    "RiskProfilingFramework",
+    "VulnerabilityAssessment",
+]

@@ -1,0 +1,145 @@
+"""Step 5 of the framework: training-set selection strategies.
+
+The paper compares four ways of choosing which patients' data to train the
+static anomaly detectors on:
+
+* **Less Vulnerable** — the cluster the risk profiling framework labels as
+  least vulnerable to the attack (the paper's proposal),
+* **More Vulnerable** — the complementary cluster,
+* **Random Samples** — three patients drawn at random, repeated over several
+  runs and averaged (a baseline controlling for training-set size), and
+* **All Patients** — indiscriminate training on the entire cohort (the
+  conventional baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils.rng import as_random_state
+
+#: Canonical strategy names used across experiments and reports.
+STRATEGY_LESS_VULNERABLE = "Less Vulnerable"
+STRATEGY_MORE_VULNERABLE = "More Vulnerable"
+STRATEGY_RANDOM = "Random Samples"
+STRATEGY_ALL = "All Patients"
+
+ALL_STRATEGIES = (
+    STRATEGY_LESS_VULNERABLE,
+    STRATEGY_MORE_VULNERABLE,
+    STRATEGY_RANDOM,
+    STRATEGY_ALL,
+)
+
+
+@dataclass
+class TrainingSelection:
+    """A named selection strategy resolved into one or more patient sets.
+
+    ``runs`` holds one list of patient labels per experiment run; deterministic
+    strategies have a single run, the random baseline has several.
+    """
+
+    strategy: str
+    runs: List[List[str]]
+
+    def __post_init__(self):
+        if not self.runs:
+            raise ValueError("a selection needs at least one run")
+        for run in self.runs:
+            if not run:
+                raise ValueError("every selection run must contain at least one patient")
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+
+class SelectionPlanner:
+    """Resolve the paper's four training strategies into patient label sets.
+
+    Parameters
+    ----------
+    all_labels:
+        Every patient label in the cohort.
+    less_vulnerable:
+        Labels in the less-vulnerable cluster (from the risk profiling
+        framework or from the paper's Table II).
+    random_set_size:
+        Number of patients per random draw (the paper uses three, matching
+        the size of its less-vulnerable cluster).
+    random_runs:
+        Number of random draws to average over (the paper uses ten).
+    seed:
+        Seed for the random baseline.
+    """
+
+    def __init__(
+        self,
+        all_labels: Sequence[str],
+        less_vulnerable: Sequence[str],
+        random_set_size: Optional[int] = None,
+        random_runs: int = 10,
+        seed=0,
+    ):
+        self.all_labels = list(all_labels)
+        self.less_vulnerable = [label for label in all_labels if label in set(less_vulnerable)]
+        if not self.all_labels:
+            raise ValueError("all_labels must not be empty")
+        if not self.less_vulnerable:
+            raise ValueError("less_vulnerable must contain at least one known patient label")
+        unknown = set(less_vulnerable) - set(all_labels)
+        if unknown:
+            raise ValueError(f"unknown less-vulnerable labels: {sorted(unknown)}")
+        self.more_vulnerable = [
+            label for label in self.all_labels if label not in set(self.less_vulnerable)
+        ]
+        if not self.more_vulnerable:
+            raise ValueError("at least one patient must be outside the less-vulnerable cluster")
+        self.random_set_size = int(random_set_size or len(self.less_vulnerable))
+        if not 1 <= self.random_set_size <= len(self.all_labels):
+            raise ValueError("random_set_size must be within the cohort size")
+        self.random_runs = int(random_runs)
+        if self.random_runs <= 0:
+            raise ValueError("random_runs must be positive")
+        self._rng = as_random_state(seed)
+
+    # ----------------------------------------------------------------- planning
+    def less_vulnerable_selection(self) -> TrainingSelection:
+        return TrainingSelection(STRATEGY_LESS_VULNERABLE, [list(self.less_vulnerable)])
+
+    def more_vulnerable_selection(self) -> TrainingSelection:
+        return TrainingSelection(STRATEGY_MORE_VULNERABLE, [list(self.more_vulnerable)])
+
+    def all_patients_selection(self) -> TrainingSelection:
+        return TrainingSelection(STRATEGY_ALL, [list(self.all_labels)])
+
+    def random_selection(self) -> TrainingSelection:
+        runs = []
+        for _ in range(self.random_runs):
+            draw = self._rng.choice(
+                self.all_labels, size=self.random_set_size, replace=False
+            )
+            runs.append(sorted(str(label) for label in draw))
+        return TrainingSelection(STRATEGY_RANDOM, runs)
+
+    def plan(self, strategies: Sequence[str] = ALL_STRATEGIES) -> Dict[str, TrainingSelection]:
+        """Resolve the requested strategies into selections."""
+        resolvers = {
+            STRATEGY_LESS_VULNERABLE: self.less_vulnerable_selection,
+            STRATEGY_MORE_VULNERABLE: self.more_vulnerable_selection,
+            STRATEGY_RANDOM: self.random_selection,
+            STRATEGY_ALL: self.all_patients_selection,
+        }
+        unknown = set(strategies) - set(resolvers)
+        if unknown:
+            raise ValueError(f"unknown strategies: {sorted(unknown)}")
+        return {strategy: resolvers[strategy]() for strategy in strategies}
+
+    # ------------------------------------------------------------------ extras
+    def training_set_reduction(self) -> float:
+        """Fractional reduction in patients when training on the less-vulnerable
+        cluster instead of the whole cohort (the paper reports 75% for
+        MAD-GAN: 3 of 12 patients)."""
+        return 1.0 - len(self.less_vulnerable) / len(self.all_labels)

@@ -1,0 +1,95 @@
+"""Severity coefficients for glucose state transitions (paper Table I).
+
+The severity coefficient ``S`` weighs how dangerous it is for the prediction
+to transition from the benign state to the adversarial state.  The paper uses
+exponential coefficients because the clinical impact of state transitions is
+strongly non-linear — a hypoglycemic patient diagnosed as hyperglycemic would
+receive a large insulin dose on top of already-low glucose, the worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.glucose.states import GlucoseState, StateTransition
+
+#: The paper's Table I: severity per (benign, adversarial) state transition.
+PAPER_SEVERITY_TABLE: Dict[Tuple[GlucoseState, GlucoseState], float] = {
+    (GlucoseState.HYPO, GlucoseState.HYPER): 64.0,
+    (GlucoseState.NORMAL, GlucoseState.HYPER): 32.0,
+    (GlucoseState.HYPO, GlucoseState.NORMAL): 16.0,
+    (GlucoseState.HYPER, GlucoseState.HYPO): 8.0,
+    (GlucoseState.HYPER, GlucoseState.NORMAL): 4.0,
+    (GlucoseState.NORMAL, GlucoseState.HYPO): 2.0,
+}
+
+
+@dataclass
+class SeverityMatrix:
+    """Mapping from state transitions to severity coefficients.
+
+    Attributes
+    ----------
+    table:
+        Coefficients per (benign, adversarial) state pair.  Pairs that do not
+        change the state fall back to ``same_state_severity``.
+    same_state_severity:
+        Coefficient applied when the adversarial prediction stays in the
+        benign state (no misdiagnosis); the paper treats such manipulations as
+        low-risk.
+    """
+
+    table: Dict[Tuple[GlucoseState, GlucoseState], float] = field(
+        default_factory=lambda: dict(PAPER_SEVERITY_TABLE)
+    )
+    same_state_severity: float = 1.0
+
+    def __post_init__(self):
+        for key, value in self.table.items():
+            if value < 0:
+                raise ValueError(f"severity for {key} must be non-negative, got {value}")
+        if self.same_state_severity < 0:
+            raise ValueError("same_state_severity must be non-negative")
+
+    def coefficient(self, transition: StateTransition) -> float:
+        """Severity coefficient for a transition."""
+        if not transition.is_misdiagnosis:
+            return self.same_state_severity
+        return self.table.get((transition.benign, transition.adversarial), self.same_state_severity)
+
+    def coefficient_for(self, benign: GlucoseState, adversarial: GlucoseState) -> float:
+        """Severity coefficient for an explicit (benign, adversarial) pair."""
+        return self.coefficient(StateTransition(benign=benign, adversarial=adversarial))
+
+    def as_rows(self) -> List[Tuple[str, str, float]]:
+        """Rows of Table I, ordered by decreasing severity."""
+        rows = [
+            (benign.value, adversarial.value, severity)
+            for (benign, adversarial), severity in self.table.items()
+        ]
+        return sorted(rows, key=lambda row: -row[2])
+
+    # ----------------------------------------------------------- alternatives
+    @classmethod
+    def paper_exponential(cls) -> "SeverityMatrix":
+        """The paper's exponential coefficients (Table I)."""
+        return cls()
+
+    @classmethod
+    def linear(cls) -> "SeverityMatrix":
+        """A linear alternative (6, 5, 4, 3, 2, 1) used by the sensitivity ablation."""
+        ordered = [
+            (GlucoseState.HYPO, GlucoseState.HYPER),
+            (GlucoseState.NORMAL, GlucoseState.HYPER),
+            (GlucoseState.HYPO, GlucoseState.NORMAL),
+            (GlucoseState.HYPER, GlucoseState.HYPO),
+            (GlucoseState.HYPER, GlucoseState.NORMAL),
+            (GlucoseState.NORMAL, GlucoseState.HYPO),
+        ]
+        return cls(table={pair: float(len(ordered) - index) for index, pair in enumerate(ordered)})
+
+    @classmethod
+    def uniform(cls, value: float = 1.0) -> "SeverityMatrix":
+        """Severity-agnostic weighting (every misdiagnosis counts the same)."""
+        return cls(table={pair: float(value) for pair in PAPER_SEVERITY_TABLE})

@@ -1,0 +1,36 @@
+"""Shared utilities: seeded randomness, validation, and time-series helpers."""
+
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_finite,
+    check_positive,
+    check_probability,
+    ensure_2d,
+)
+from repro.utils.timeseries import (
+    StandardScaler,
+    MinMaxScaler,
+    sliding_windows,
+    supervised_windows,
+    train_test_split_sequential,
+    exponential_moving_average,
+    resample_series,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_rngs",
+    "check_array",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "ensure_2d",
+    "StandardScaler",
+    "MinMaxScaler",
+    "sliding_windows",
+    "supervised_windows",
+    "train_test_split_sequential",
+    "exponential_moving_average",
+    "resample_series",
+]

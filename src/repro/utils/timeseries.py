@@ -1,0 +1,210 @@
+"""Time-series helpers: scaling, windowing, resampling, and splitting."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_fitted, ensure_2d
+
+
+class StandardScaler:
+    """Feature-wise standardization to zero mean and unit variance."""
+
+    def __init__(self, epsilon: float = 1e-8):
+        self.epsilon = float(epsilon)
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, data) -> "StandardScaler":
+        matrix = ensure_2d(data, "data")
+        self.mean_ = matrix.mean(axis=0)
+        self.std_ = matrix.std(axis=0)
+        return self
+
+    def transform(self, data) -> np.ndarray:
+        check_fitted(self, ("mean_", "std_"))
+        matrix = ensure_2d(data, "data")
+        return (matrix - self.mean_) / (self.std_ + self.epsilon)
+
+    def fit_transform(self, data) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data) -> np.ndarray:
+        check_fitted(self, ("mean_", "std_"))
+        matrix = ensure_2d(data, "data")
+        return matrix * (self.std_ + self.epsilon) + self.mean_
+
+
+class MinMaxScaler:
+    """Feature-wise rescaling into a target range (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range: Tuple[float, float] = (0.0, 1.0), epsilon: float = 1e-12):
+        if feature_range[1] <= feature_range[0]:
+            raise ValueError("feature_range upper bound must exceed lower bound")
+        self.feature_range = (float(feature_range[0]), float(feature_range[1]))
+        self.epsilon = float(epsilon)
+        self.min_: Optional[np.ndarray] = None
+        self.max_: Optional[np.ndarray] = None
+
+    def fit(self, data) -> "MinMaxScaler":
+        matrix = ensure_2d(data, "data")
+        self.min_ = matrix.min(axis=0)
+        self.max_ = matrix.max(axis=0)
+        return self
+
+    def transform(self, data) -> np.ndarray:
+        check_fitted(self, ("min_", "max_"))
+        matrix = ensure_2d(data, "data")
+        low, high = self.feature_range
+        span = np.maximum(self.max_ - self.min_, self.epsilon)
+        scaled = (matrix - self.min_) / span
+        return scaled * (high - low) + low
+
+    def fit_transform(self, data) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data) -> np.ndarray:
+        check_fitted(self, ("min_", "max_"))
+        matrix = ensure_2d(data, "data")
+        low, high = self.feature_range
+        span = np.maximum(self.max_ - self.min_, self.epsilon)
+        unit = (matrix - low) / (high - low)
+        return unit * span + self.min_
+
+
+def sliding_windows(series, window: int, step: int = 1) -> np.ndarray:
+    """Extract overlapping windows from a (possibly multivariate) series.
+
+    Parameters
+    ----------
+    series:
+        Array of shape ``(T,)`` or ``(T, F)``.
+    window:
+        Window length.
+    step:
+        Stride between consecutive window starts.
+
+    Returns
+    -------
+    Array of shape ``(n_windows, window)`` or ``(n_windows, window, F)``.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    array = np.asarray(series, dtype=np.float64)
+    length = array.shape[0]
+    if length < window:
+        empty_shape = (0, window) if array.ndim == 1 else (0, window) + array.shape[1:]
+        return np.empty(empty_shape, dtype=np.float64)
+    starts = range(0, length - window + 1, step)
+    return np.stack([array[start : start + window] for start in starts])
+
+
+def supervised_windows(
+    series,
+    history: int,
+    horizon: int = 1,
+    step: int = 1,
+    target_column: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (input window, future target) pairs for forecasting.
+
+    Parameters
+    ----------
+    series:
+        Array of shape ``(T,)`` or ``(T, F)``.
+    history:
+        Number of past steps fed to the model.
+    horizon:
+        How many steps ahead the target lies (>= 1).
+    step:
+        Stride between consecutive samples.
+    target_column:
+        For multivariate input, which column to forecast.
+
+    Returns
+    -------
+    inputs:
+        ``(n, history)`` or ``(n, history, F)``.
+    targets:
+        ``(n,)`` values ``horizon`` steps after each window.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    array = np.asarray(series, dtype=np.float64)
+    length = array.shape[0]
+    last_start = length - history - horizon
+    if last_start < 0:
+        empty_x = (
+            np.empty((0, history))
+            if array.ndim == 1
+            else np.empty((0, history) + array.shape[1:])
+        )
+        return empty_x, np.empty((0,))
+    inputs = []
+    targets = []
+    for start in range(0, last_start + 1, step):
+        inputs.append(array[start : start + history])
+        target_index = start + history + horizon - 1
+        if array.ndim == 1:
+            targets.append(array[target_index])
+        else:
+            targets.append(array[target_index, target_column])
+    return np.stack(inputs), np.asarray(targets, dtype=np.float64)
+
+
+def train_test_split_sequential(data, test_fraction: float = 0.2) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a series chronologically into train and test segments."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    array = np.asarray(data)
+    split = int(round(len(array) * (1.0 - test_fraction)))
+    split = max(1, min(split, len(array) - 1)) if len(array) > 1 else len(array)
+    return array[:split], array[split:]
+
+
+def exponential_moving_average(series, alpha: float = 0.3) -> np.ndarray:
+    """Smooth a 1-D series with an exponential moving average."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    values = check_array(series, "series", ndim=1)
+    if values.size == 0:
+        return values
+    smoothed = np.empty_like(values)
+    smoothed[0] = values[0]
+    for index in range(1, len(values)):
+        smoothed[index] = alpha * values[index] + (1.0 - alpha) * smoothed[index - 1]
+    return smoothed
+
+
+def resample_series(series, target_length: int) -> np.ndarray:
+    """Linearly resample a 1-D series to ``target_length`` points."""
+    if target_length <= 0:
+        raise ValueError(f"target_length must be positive, got {target_length}")
+    values = check_array(series, "series", ndim=1, allow_empty=False)
+    if len(values) == 1:
+        return np.full(target_length, values[0])
+    source_positions = np.linspace(0.0, 1.0, num=len(values))
+    target_positions = np.linspace(0.0, 1.0, num=target_length)
+    return np.interp(target_positions, source_positions, values)
+
+
+def autocorrelation(series, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation of a 1-D series up to ``max_lag`` (inclusive)."""
+    values = check_array(series, "series", ndim=1, allow_empty=False)
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    centered = values - values.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator == 0.0:
+        return np.concatenate([[1.0], np.zeros(max_lag)])
+    result = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        if lag == 0:
+            result[lag] = 1.0
+        else:
+            result[lag] = float(np.dot(centered[:-lag], centered[lag:])) / denominator
+    return result

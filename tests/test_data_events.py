@@ -1,0 +1,98 @@
+"""Tests for meal/bolus/exercise behaviour generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.events import (
+    BehaviourProfile,
+    BolusPolicy,
+    DailyScheduleGenerator,
+    ExercisePlan,
+    MealPlan,
+    MINUTES_PER_DAY,
+)
+
+
+class TestMealPlan:
+    def test_mismatched_meals_rejected(self):
+        with pytest.raises(ValueError):
+            MealPlan(meal_times=(420,), meal_carbs=(40.0, 50.0))
+
+    def test_defaults_are_three_meals(self):
+        plan = MealPlan()
+        assert len(plan.meal_times) == 3
+
+
+class TestScheduleGenerator:
+    def test_output_length(self):
+        inputs = DailyScheduleGenerator(BehaviourProfile(), seed=0).generate(3)
+        assert inputs.minutes == 3 * MINUTES_PER_DAY
+
+    def test_invalid_days_rejected(self):
+        with pytest.raises(ValueError):
+            DailyScheduleGenerator(BehaviourProfile(), seed=0).generate(0)
+
+    def test_reproducible_with_seed(self):
+        first = DailyScheduleGenerator(BehaviourProfile(), seed=4).generate(2)
+        second = DailyScheduleGenerator(BehaviourProfile(), seed=4).generate(2)
+        np.testing.assert_array_equal(first.carbs, second.carbs)
+        np.testing.assert_array_equal(first.bolus, second.bolus)
+
+    def test_daily_carbs_are_plausible(self):
+        inputs = DailyScheduleGenerator(BehaviourProfile(), seed=1).generate(10)
+        per_day = inputs.carbs.reshape(10, MINUTES_PER_DAY).sum(axis=1)
+        assert np.all(per_day >= 0)
+        assert 50 <= per_day.mean() <= 350
+
+    def test_basal_constant(self):
+        behaviour = BehaviourProfile(basal_rate=0.9)
+        inputs = DailyScheduleGenerator(behaviour, seed=0).generate(1)
+        assert np.all(inputs.basal == 0.9)
+
+    def test_noncompliant_patient_boluses_less(self):
+        compliant = BehaviourProfile(bolus_policy=BolusPolicy(compliance=1.0, correction_probability=0.0))
+        skipper = BehaviourProfile(bolus_policy=BolusPolicy(compliance=0.2, correction_probability=0.0))
+        days = 15
+        compliant_total = DailyScheduleGenerator(compliant, seed=2).generate(days).bolus.sum()
+        skipper_total = DailyScheduleGenerator(skipper, seed=2).generate(days).bolus.sum()
+        assert skipper_total < compliant_total * 0.7
+
+    def test_exercise_only_within_window(self):
+        behaviour = BehaviourProfile(exercise_plan=ExercisePlan(session_probability=1.0))
+        inputs = DailyScheduleGenerator(behaviour, seed=3).generate(5)
+        for day in range(5):
+            day_slice = inputs.exercise[day * MINUTES_PER_DAY : (day + 1) * MINUTES_PER_DAY]
+            active = np.where(day_slice > 0)[0]
+            if len(active):
+                assert active.min() >= 16 * 60
+                assert active.max() <= 21 * 60
+
+    def test_correction_probability_adds_boluses(self):
+        no_corrections = BehaviourProfile(
+            bolus_policy=BolusPolicy(compliance=1.0, correction_probability=0.0)
+        )
+        with_corrections = BehaviourProfile(
+            bolus_policy=BolusPolicy(compliance=1.0, correction_probability=1.0)
+        )
+        days = 10
+        base_total = DailyScheduleGenerator(no_corrections, seed=7).generate(days).bolus.sum()
+        corrected_total = DailyScheduleGenerator(with_corrections, seed=7).generate(days).bolus.sum()
+        assert corrected_total > base_total
+
+    def test_pre_bolus_shifts_timing_earlier(self):
+        plan = MealPlan(time_jitter_std=0.0, snack_probability=0.0, skip_probability=0.0)
+        on_time = BehaviourProfile(
+            meal_plan=plan,
+            bolus_policy=BolusPolicy(
+                compliance=1.0, timing_offset=0.0, timing_error_std=0.0, correction_probability=0.0
+            ),
+        )
+        early = BehaviourProfile(
+            meal_plan=plan,
+            bolus_policy=BolusPolicy(
+                compliance=1.0, timing_offset=-20.0, timing_error_std=0.0, correction_probability=0.0
+            ),
+        )
+        on_time_minutes = np.where(DailyScheduleGenerator(on_time, seed=5).generate(1).bolus > 0)[0]
+        early_minutes = np.where(DailyScheduleGenerator(early, seed=5).generate(1).bolus > 0)[0]
+        assert early_minutes.min() < on_time_minutes.min()

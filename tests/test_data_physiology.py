@@ -1,0 +1,129 @@
+"""Tests for the glucose–insulin physiology simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CGM_SAMPLE_MINUTES,
+    MAX_SENSOR_GLUCOSE,
+    MIN_SENSOR_GLUCOSE,
+    GlucoseInsulinSimulator,
+    PhysiologyParameters,
+    SimulationInputs,
+)
+from repro.data.events import BehaviourProfile, DailyScheduleGenerator
+
+
+def quiet_inputs(minutes: int = 1440, basal: float = 1.0) -> SimulationInputs:
+    return SimulationInputs(
+        carbs=np.zeros(minutes),
+        bolus=np.zeros(minutes),
+        basal=np.full(minutes, basal),
+        exercise=np.zeros(minutes),
+    )
+
+
+class TestParameters:
+    def test_defaults_validate(self):
+        PhysiologyParameters().validate()
+
+    def test_negative_basal_rejected(self):
+        with pytest.raises(ValueError):
+            PhysiologyParameters(basal_glucose=-1.0).validate()
+
+    def test_bad_bioavailability_rejected(self):
+        with pytest.raises(ValueError):
+            PhysiologyParameters(carb_bioavailability=1.5).validate()
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            PhysiologyParameters(sensor_noise_std=-1.0).validate()
+
+
+class TestSimulationInputs:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationInputs(
+                carbs=np.zeros(10), bolus=np.zeros(10), basal=np.zeros(9), exercise=np.zeros(10)
+            )
+
+    def test_minutes_property(self):
+        assert quiet_inputs(120).minutes == 120
+
+
+class TestSimulator:
+    def test_output_lengths_match_cgm_cadence(self):
+        result = GlucoseInsulinSimulator(PhysiologyParameters(), seed=0).simulate(quiet_inputs(1440))
+        assert result.n_samples == 1440 // CGM_SAMPLE_MINUTES
+        assert len(result.cgm) == len(result.heart_rate) == len(result.carbs)
+
+    def test_cgm_within_sensor_limits(self):
+        result = GlucoseInsulinSimulator(PhysiologyParameters(), seed=0).simulate(quiet_inputs(2880))
+        assert np.all(result.cgm >= MIN_SENSOR_GLUCOSE)
+        assert np.all(result.cgm <= MAX_SENSOR_GLUCOSE)
+
+    def test_quiet_day_stays_near_basal_glucose(self):
+        parameters = PhysiologyParameters(basal_glucose=120.0, sensor_noise_std=1.0, dawn_amplitude=0.1)
+        result = GlucoseInsulinSimulator(parameters, seed=0).simulate(quiet_inputs(1440))
+        assert abs(float(np.mean(result.cgm)) - 120.0) < 25.0
+
+    def test_meal_raises_glucose(self):
+        inputs = quiet_inputs(720)
+        inputs.carbs[60] = 80.0  # unbolused meal
+        no_meal = GlucoseInsulinSimulator(PhysiologyParameters(sensor_noise_std=0.5), seed=1).simulate(
+            quiet_inputs(720)
+        )
+        with_meal = GlucoseInsulinSimulator(PhysiologyParameters(sensor_noise_std=0.5), seed=1).simulate(
+            inputs
+        )
+        assert with_meal.cgm.max() > no_meal.cgm.max() + 30.0
+
+    def test_bolus_lowers_glucose(self):
+        inputs = quiet_inputs(720)
+        inputs.bolus[60] = 4.0
+        baseline = GlucoseInsulinSimulator(PhysiologyParameters(sensor_noise_std=0.5), seed=2).simulate(
+            quiet_inputs(720)
+        )
+        dosed = GlucoseInsulinSimulator(PhysiologyParameters(sensor_noise_std=0.5), seed=2).simulate(inputs)
+        assert dosed.cgm.min() < baseline.cgm.min() - 10.0
+
+    def test_same_seed_reproducible(self):
+        params = PhysiologyParameters()
+        first = GlucoseInsulinSimulator(params, seed=5).simulate(quiet_inputs(720)).cgm
+        second = GlucoseInsulinSimulator(params, seed=5).simulate(quiet_inputs(720)).cgm
+        np.testing.assert_allclose(first, second)
+
+    def test_different_seed_changes_noise(self):
+        params = PhysiologyParameters()
+        first = GlucoseInsulinSimulator(params, seed=5).simulate(quiet_inputs(720)).cgm
+        second = GlucoseInsulinSimulator(params, seed=6).simulate(quiet_inputs(720)).cgm
+        assert not np.allclose(first, second)
+
+    def test_heart_rate_rises_with_exercise(self):
+        inputs = quiet_inputs(720)
+        inputs.exercise[300:360] = 0.8
+        result = GlucoseInsulinSimulator(PhysiologyParameters(), seed=0).simulate(inputs)
+        exercise_samples = result.heart_rate[(result.minutes >= 300) & (result.minutes < 360)]
+        rest_samples = result.heart_rate[result.minutes < 300]
+        assert exercise_samples.mean() > rest_samples.mean() + 20.0
+
+    def test_insulin_sensitivity_changes_response(self):
+        inputs = quiet_inputs(720)
+        inputs.bolus[60] = 4.0
+        sensitive = GlucoseInsulinSimulator(
+            PhysiologyParameters(insulin_sensitivity=1.5, sensor_noise_std=0.5), seed=3
+        ).simulate(inputs)
+        resistant = GlucoseInsulinSimulator(
+            PhysiologyParameters(insulin_sensitivity=0.5, sensor_noise_std=0.5), seed=3
+        ).simulate(inputs)
+        assert sensitive.cgm.min() < resistant.cgm.min()
+
+
+class TestScheduleIntegration:
+    def test_generated_schedule_runs_through_simulator(self):
+        behaviour = BehaviourProfile()
+        inputs = DailyScheduleGenerator(behaviour, seed=0).generate(2)
+        result = GlucoseInsulinSimulator(PhysiologyParameters(), seed=0).simulate(inputs)
+        assert result.n_samples == 2 * 1440 // CGM_SAMPLE_MINUTES
+        assert result.carbs.sum() > 0
+        assert result.bolus.sum() > 0

@@ -1,0 +1,235 @@
+"""Tests for the anomaly detectors (kNN, OneClassSVM, MAD-GAN, ensemble)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_toy_windows
+from repro.detectors import (
+    KNNClassifierDetector,
+    KNNDistanceDetector,
+    MADGANDetector,
+    OneClassSVMDetector,
+    ThresholdCalibrator,
+    VotingEnsembleDetector,
+    kernel_matrix,
+    minkowski_distances,
+)
+
+
+class TestThresholdCalibrator:
+    def test_quantile_threshold(self):
+        calibrator = ThresholdCalibrator(quantile=0.9).fit(np.arange(100.0))
+        assert calibrator.threshold_ == pytest.approx(89.1)
+
+    def test_predict_flags_above_threshold(self):
+        calibrator = ThresholdCalibrator(quantile=0.5).fit(np.array([0.0, 1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(calibrator.predict(np.array([0.0, 10.0])), [0, 1])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            ThresholdCalibrator().predict(np.array([1.0]))
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            ThresholdCalibrator(quantile=1.5).fit(np.arange(10.0))
+
+
+class TestDistances:
+    def test_euclidean_matches_manual(self, rng):
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(7, 3))
+        distances = minkowski_distances(a, b, p=2.0)
+        manual = np.sqrt(((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2))
+        np.testing.assert_allclose(distances, manual, atol=1e-9)
+
+    def test_manhattan(self):
+        distances = minkowski_distances(np.array([[0.0, 0.0]]), np.array([[1.0, 2.0]]), p=1.0)
+        assert distances[0, 0] == pytest.approx(3.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            minkowski_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_kernel_matrix_rbf_diagonal_is_one(self, rng):
+        data = rng.normal(size=(6, 4))
+        gram = kernel_matrix(data, data, "rbf", gamma=0.5, coef0=0.0, degree=3)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+
+    def test_kernel_matrix_linear(self, rng):
+        data = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            kernel_matrix(data, data, "linear", 1.0, 0.0, 3), data @ data.T
+        )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_matrix(np.zeros((2, 2)), np.zeros((2, 2)), "mystery", 1.0, 0.0, 3)
+
+
+class TestKNNClassifier:
+    def test_detects_separable_anomalies(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = KNNClassifierDetector(n_neighbors=5).fit(windows, labels)
+        predictions = detector.predict(windows)
+        recall = np.mean(predictions[labels == 1] == 1)
+        false_positive_rate = np.mean(predictions[labels == 0] == 1)
+        assert recall > 0.7
+        assert false_positive_rate < 0.2
+
+    def test_requires_labels(self, toy_detection_data):
+        windows, _ = toy_detection_data
+        with pytest.raises(ValueError):
+            KNNClassifierDetector().fit(windows)
+
+    def test_rejects_non_binary_labels(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        with pytest.raises(ValueError):
+            KNNClassifierDetector().fit(windows, labels + 1)
+
+    def test_scores_are_fractions(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = KNNClassifierDetector().fit(windows, labels)
+        scores = detector.scores(windows[:10])
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+
+    def test_distance_weighting_supported(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = KNNClassifierDetector(weights="distance").fit(windows, labels)
+        assert detector.predict(windows[:5]).shape == (5,)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNClassifierDetector().predict(np.zeros((1, 12, 4)))
+
+    def test_single_timestep_windows_supported(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        samples = windows[:, -1:, :]
+        detector = KNNClassifierDetector().fit(samples, labels)
+        assert detector.predict(samples[:3]).shape == (3,)
+
+
+class TestKNNDistance:
+    def test_flags_outliers(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = KNNDistanceDetector(quantile=0.95).fit(windows[labels == 0])
+        predictions = detector.predict(windows)
+        assert np.mean(predictions[labels == 1] == 1) > 0.8
+
+    def test_benign_false_positive_rate_bounded(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = KNNDistanceDetector(quantile=0.95).fit(windows[labels == 0])
+        predictions = detector.predict(windows[labels == 0])
+        assert np.mean(predictions) < 0.25
+
+    def test_accepts_labels_and_filters_benign(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = KNNDistanceDetector().fit(windows, labels)
+        assert detector.predict(windows[:4]).shape == (4,)
+
+
+class TestOneClassSVM:
+    def test_rbf_detects_anomalies(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.1, seed=0)
+        detector.fit(windows[labels == 0])
+        predictions = detector.predict(windows)
+        assert np.mean(predictions[labels == 1] == 1) > 0.8
+        assert np.mean(predictions[labels == 0] == 1) < 0.35
+
+    def test_nu_controls_benign_rejection(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        benign = windows[labels == 0]
+        tight = OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.05, seed=0).fit(benign)
+        loose = OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.5, seed=0).fit(benign)
+        tight_rate = np.mean(tight.predict(benign))
+        loose_rate = np.mean(loose.predict(benign))
+        assert loose_rate > tight_rate
+
+    def test_decision_function_sign_convention(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.1, seed=0).fit(
+            windows[labels == 0]
+        )
+        decisions = detector.decision_function(windows)
+        predictions = detector.predict(windows)
+        np.testing.assert_array_equal(predictions, (decisions < 0).astype(int))
+
+    def test_invalid_nu_rejected(self):
+        with pytest.raises(ValueError):
+            OneClassSVMDetector(nu=0.0)
+
+    def test_subsampling_limits_training_size(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.2, max_samples=30, seed=0)
+        detector.fit(windows[labels == 0])
+        assert len(detector._train_scaled) <= 30
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneClassSVMDetector().predict(np.zeros((1, 12, 4)))
+
+    def test_sigmoid_kernel_runs(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        detector = OneClassSVMDetector(kernel="sigmoid", coef0=10.0, nu=0.5, seed=0)
+        detector.fit(windows[labels == 0][:40])
+        assert detector.predict(windows[:5]).shape == (5,)
+
+
+class TestMADGAN:
+    @pytest.fixture(scope="class")
+    def fitted_madgan(self):
+        windows, labels = make_toy_windows(
+            n_benign=120, n_malicious=0, seed=3
+        )
+        detector = MADGANDetector(epochs=4, hidden_size=12, inversion_steps=25, seed=0)
+        detector.fit(windows[labels == 0])
+        return detector
+
+    def test_training_history_recorded(self, fitted_madgan):
+        assert len(fitted_madgan.history_.generator_losses) == 4
+        assert len(fitted_madgan.history_.discriminator_losses) == 4
+
+    def test_detects_large_manipulations(self, fitted_madgan):
+        windows, labels = make_toy_windows(
+            n_benign=30, n_malicious=30, seed=9
+        )
+        predictions = fitted_madgan.predict(windows)
+        assert np.mean(predictions[labels == 1] == 1) > 0.7
+
+    def test_benign_false_positive_rate_bounded(self, fitted_madgan):
+        windows, labels = make_toy_windows(
+            n_benign=40, n_malicious=0, seed=11
+        )
+        assert np.mean(fitted_madgan.predict(windows)) < 0.3
+
+    def test_wrong_window_shape_rejected(self, fitted_madgan):
+        with pytest.raises(ValueError):
+            fitted_madgan.predict(np.zeros((2, 5, 4)))
+
+    def test_scores_before_fit_raise(self):
+        with pytest.raises(RuntimeError):
+            MADGANDetector().scores(np.zeros((1, 12, 4)))
+
+    def test_invalid_reconstruction_weight(self):
+        with pytest.raises(ValueError):
+            MADGANDetector(reconstruction_weight=1.5)
+
+
+class TestEnsemble:
+    def test_majority_vote(self, toy_detection_data):
+        windows, labels = toy_detection_data
+        ensemble = VotingEnsembleDetector(
+            [KNNClassifierDetector(n_neighbors=3), KNNDistanceDetector(), OneClassSVMDetector(kernel="rbf", gamma="scale", nu=0.1, seed=0)]
+        )
+        ensemble.fit(windows, labels)
+        predictions = ensemble.predict(windows)
+        assert np.mean(predictions[labels == 1] == 1) > 0.6
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            VotingEnsembleDetector([])
+
+    def test_min_votes_validated(self):
+        with pytest.raises(ValueError):
+            VotingEnsembleDetector([KNNDistanceDetector()], min_votes=5)

@@ -1,0 +1,126 @@
+"""Tests for LSTM / BiLSTM layers, including a gradient check and training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, BiLSTM, Dense, LSTM, LSTMCell, Sequential, Tensor, mse_loss
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(3, 5, seed=0)
+        hidden, cell_state = cell.initial_state(2)
+        new_hidden, new_cell = cell(Tensor(np.zeros((2, 3))), (hidden, cell_state))
+        assert new_hidden.shape == (2, 5)
+        assert new_cell.shape == (2, 5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 5)
+
+    def test_forget_bias_initialised_positive(self):
+        cell = LSTMCell(2, 4, seed=0, forget_bias=1.0)
+        assert np.all(cell.bias.data[4:8] == 1.0)
+
+    def test_state_changes_with_input(self):
+        cell = LSTMCell(2, 3, seed=0)
+        state = cell.initial_state(1)
+        out_zero, _ = cell(Tensor(np.zeros((1, 2))), state)
+        out_one, _ = cell(Tensor(np.ones((1, 2))), state)
+        assert not np.allclose(out_zero.numpy(), out_one.numpy())
+
+
+class TestLSTM:
+    def test_last_hidden_shape(self):
+        layer = LSTM(3, 6, seed=0)
+        output = layer(Tensor(np.zeros((4, 7, 3))))
+        assert output.shape == (4, 6)
+
+    def test_sequence_output_shape(self):
+        layer = LSTM(3, 6, return_sequences=True, seed=0)
+        output = layer(Tensor(np.zeros((4, 7, 3))))
+        assert output.shape == (4, 7, 6)
+
+    def test_rejects_non_3d_input(self):
+        layer = LSTM(3, 6, seed=0)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((4, 3))))
+
+    def test_reverse_processes_in_opposite_order(self):
+        layer = LSTM(1, 4, seed=0)
+        reversed_layer = LSTM(1, 4, reverse=True, seed=0)
+        reversed_layer.cell.load_state_dict(layer.cell.state_dict())
+        sequence = np.arange(6.0).reshape(1, 6, 1)
+        forward_last = layer(Tensor(sequence)).numpy()
+        backward_last = reversed_layer(Tensor(sequence[:, ::-1, :].copy())).numpy()
+        np.testing.assert_allclose(forward_last, backward_last, atol=1e-12)
+
+    def test_gradient_flows_to_input(self):
+        layer = LSTM(2, 3, seed=0)
+        inputs = Tensor(np.random.default_rng(0).normal(size=(2, 5, 2)), requires_grad=True)
+        layer(inputs).sum().backward()
+        assert inputs.grad is not None
+        assert np.any(inputs.grad != 0.0)
+
+    def test_gradient_matches_numerical_for_small_lstm(self):
+        rng = np.random.default_rng(1)
+        layer = LSTM(1, 2, seed=3)
+        inputs = rng.normal(size=(1, 3, 1))
+        parameter = layer.cell.weight_input
+
+        def loss_for(weight_values):
+            parameter.data = weight_values
+            return layer(Tensor(inputs)).sum().item()
+
+        base = parameter.data.copy()
+        layer.zero_grad()
+        output = layer(Tensor(inputs)).sum()
+        output.backward()
+        analytic = parameter.grad.copy()
+
+        numerical = np.zeros_like(base)
+        epsilon = 1e-6
+        for index in np.ndindex(base.shape):
+            perturbed = base.copy()
+            perturbed[index] += epsilon
+            upper = loss_for(perturbed)
+            perturbed[index] -= 2 * epsilon
+            lower = loss_for(perturbed)
+            numerical[index] = (upper - lower) / (2 * epsilon)
+        parameter.data = base
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5)
+
+
+class TestBiLSTM:
+    def test_output_concatenates_directions(self):
+        layer = BiLSTM(3, 5, seed=0)
+        output = layer(Tensor(np.zeros((2, 6, 3))))
+        assert output.shape == (2, 10)
+        assert layer.output_size == 10
+
+    def test_sequence_mode(self):
+        layer = BiLSTM(3, 5, return_sequences=True, seed=0)
+        output = layer(Tensor(np.zeros((2, 6, 3))))
+        assert output.shape == (2, 6, 10)
+
+    def test_directions_have_distinct_weights(self):
+        layer = BiLSTM(2, 3, seed=0)
+        forward = layer.forward_layer.cell.weight_input.data
+        backward = layer.backward_layer.cell.weight_input.data
+        assert not np.allclose(forward, backward)
+
+    def test_bilstm_regression_learns(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(48, 5, 2))
+        targets = inputs.mean(axis=(1, 2), keepdims=False).reshape(-1, 1)
+        model = Sequential(BiLSTM(2, 6, seed=1), Dense(12, 1, seed=2))
+        optimizer = Adam(model.parameters(), learning_rate=0.02)
+        first_loss = None
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(inputs)), Tensor(targets))
+            loss.backward()
+            optimizer.step()
+            if first_loss is None:
+                first_loss = loss.item()
+        assert loss.item() < first_loss * 0.2

@@ -1,0 +1,96 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, as_random_state, hash_string, spawn_rngs
+
+
+class TestRandomState:
+    def test_same_seed_gives_same_stream(self):
+        first = RandomState(42).normal(size=10)
+        second = RandomState(42).normal(size=10)
+        np.testing.assert_allclose(first, second)
+
+    def test_different_seeds_give_different_streams(self):
+        first = RandomState(1).normal(size=10)
+        second = RandomState(2).normal(size=10)
+        assert not np.allclose(first, second)
+
+    def test_seed_property(self):
+        assert RandomState(7).seed == 7
+
+    def test_wrapping_existing_state_shares_generator(self):
+        base = RandomState(3)
+        wrapped = RandomState(base)
+        assert wrapped.generator is base.generator
+
+    def test_wrapping_numpy_generator(self):
+        generator = np.random.default_rng(5)
+        state = RandomState(generator)
+        assert state.generator is generator
+        assert state.seed is None
+
+    def test_uniform_bounds(self):
+        values = RandomState(0).uniform(2.0, 3.0, size=100)
+        assert np.all(values >= 2.0)
+        assert np.all(values <= 3.0)
+
+    def test_integers_range(self):
+        values = RandomState(0).integers(0, 5, size=200)
+        assert set(np.unique(values)) <= {0, 1, 2, 3, 4}
+
+    def test_choice_without_replacement_unique(self):
+        values = RandomState(0).choice(np.arange(10), size=10, replace=False)
+        assert len(set(values.tolist())) == 10
+
+    def test_permutation_preserves_elements(self):
+        values = RandomState(0).permutation(np.arange(6))
+        assert sorted(values.tolist()) == list(range(6))
+
+    def test_spawn_children_are_independent(self):
+        children = RandomState(9).spawn(2)
+        first = children[0].normal(size=5)
+        second = children[1].normal(size=5)
+        assert not np.allclose(first, second)
+
+    def test_derive_is_deterministic_per_tag(self):
+        first = RandomState(11).derive("model").normal(size=4)
+        second = RandomState(11).derive("model").normal(size=4)
+        np.testing.assert_allclose(first, second)
+
+    def test_derive_differs_across_tags(self):
+        root = RandomState(11)
+        first = root.derive("model").normal(size=4)
+        second = root.derive("attack").normal(size=4)
+        assert not np.allclose(first, second)
+
+    def test_derive_without_seed_falls_back_to_spawn(self):
+        root = RandomState(np.random.default_rng(0))
+        child = root.derive("anything")
+        assert isinstance(child, RandomState)
+
+
+class TestHelpers:
+    def test_hash_string_is_stable(self):
+        assert hash_string("abc") == hash_string("abc")
+
+    def test_hash_string_differs(self):
+        assert hash_string("abc") != hash_string("abd")
+
+    def test_as_random_state_passthrough(self):
+        state = RandomState(1)
+        assert as_random_state(state) is state
+
+    def test_as_random_state_from_int(self):
+        assert isinstance(as_random_state(4), RandomState)
+
+    def test_spawn_rngs_returns_named_streams(self):
+        streams = spawn_rngs(3, ["a", "b"])
+        assert set(streams) == {"a", "b"}
+        assert not np.allclose(streams["a"].normal(size=3), streams["b"].normal(size=3))
+
+    def test_spawn_rngs_reproducible(self):
+        first = spawn_rngs(3, ["a"])["a"].normal(size=3)
+        second = spawn_rngs(3, ["a"])["a"].normal(size=3)
+        np.testing.assert_allclose(first, second)
