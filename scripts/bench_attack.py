@@ -1,0 +1,163 @@
+"""Micro-benchmark for the attack hot path: graph vs fast path, per-window vs batched.
+
+Times one small, fixed attack campaign under three engine configurations:
+
+* ``graph_per_window`` — the seed configuration: every model query runs
+  through the full reverse-mode autodiff graph, one window at a time.
+* ``fast_per_window``  — graph-free numpy inference, still one window at a time.
+* ``fast_batched``     — graph-free inference plus lockstep batched search
+  (one model call per search depth across all active windows).
+
+Writes ``BENCH_attack.json`` next to the repo root so later PRs can track the
+performance trajectory, and verifies the fast path's regression guarantee
+(fast vs graph predictions within 1e-10) on every benchmark window.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_attack.py [--output PATH] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks import AttackCampaign
+from repro.data import SyntheticOhioT1DM, make_patient_profile
+from repro.glucose import GlucoseModelZoo
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BENCH_PATIENTS = [("A", 5), ("A", 0), ("A", 2)]
+BENCH_STRIDE = 4
+BENCH_SEED = 13
+ZOO_KWARGS = dict(predictor_kwargs=dict(epochs=2, hidden_size=8), train_personalized=True, seed=5)
+
+
+def build_fixture():
+    """Build the fixed cohort + trained zoo the benchmark always uses."""
+    profiles = [make_patient_profile(subset, pid) for subset, pid in BENCH_PATIENTS]
+    cohort = SyntheticOhioT1DM(
+        train_days=2, test_days=1, seed=BENCH_SEED, profiles=profiles
+    ).generate()
+    zoo = GlucoseModelZoo(**ZOO_KWARGS)
+    zoo.fit(cohort)
+    return cohort, zoo
+
+
+def set_fast_path(zoo: GlucoseModelZoo, enabled: bool) -> None:
+    for model in zoo.models.values():
+        model.use_fast_path = enabled
+
+
+def time_campaign(zoo, cohort, batched: bool, fast_path: bool, repeats: int):
+    """Run the fixed campaign ``repeats`` times; return (best seconds, result)."""
+    set_fast_path(zoo, fast_path)
+    best = float("inf")
+    result = None
+    try:
+        for _ in range(repeats):
+            campaign = AttackCampaign(zoo, stride=BENCH_STRIDE, batched=batched)
+            start = time.perf_counter()
+            result = campaign.run_cohort(cohort, split="test")
+            best = min(best, time.perf_counter() - start)
+    finally:
+        set_fast_path(zoo, True)
+    return best, result
+
+
+def equivalence_check(zoo, cohort) -> float:
+    """Max |fast - graph| prediction gap over every benchmark window."""
+    worst = 0.0
+    for record in cohort:
+        windows, _, _ = zoo.dataset.from_record(record, "test")
+        if len(windows) == 0:
+            continue
+        model = zoo.model_for(record.label)
+        gap = np.abs(model.predict(windows) - model.predict_graph(windows)).max()
+        worst = max(worst, float(gap))
+    return worst
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_attack.json",
+        help="where to write the benchmark report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed repetitions per configuration; the best run is reported",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    print("building fixture (cohort + trained zoo)...")
+    cohort, zoo = build_fixture()
+
+    print("checking fast-path regression guarantee...")
+    max_gap = equivalence_check(zoo, cohort)
+    print(f"  max |fast - graph| prediction gap: {max_gap:.3e}")
+
+    configurations = {
+        "graph_per_window": dict(batched=False, fast_path=False),
+        "fast_per_window": dict(batched=False, fast_path=True),
+        "fast_batched": dict(batched=True, fast_path=True),
+    }
+    timings = {}
+    record_counts = {}
+    total_queries = {}
+    for name, config in configurations.items():
+        print(f"timing {name}...")
+        seconds, result = time_campaign(zoo, cohort, repeats=args.repeats, **config)
+        timings[name] = seconds
+        record_counts[name] = len(result.records)
+        total_queries[name] = int(sum(r.result.queries for r in result.records))
+        print(f"  {seconds:.3f}s ({record_counts[name]} windows, {total_queries[name]} queries)")
+
+    speedup_total = timings["graph_per_window"] / timings["fast_batched"]
+    report = {
+        "benchmark": "attack_campaign",
+        "config": {
+            "patients": ["_".join(map(str, p)) for p in BENCH_PATIENTS],
+            "stride": BENCH_STRIDE,
+            "cohort_seed": BENCH_SEED,
+            "repeats": args.repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "seconds": timings,
+        "attacked_windows": record_counts["fast_batched"],
+        "model_queries": total_queries["fast_batched"],
+        "speedup": {
+            "fast_path_only": timings["graph_per_window"] / timings["fast_per_window"],
+            "batching_only": timings["fast_per_window"] / timings["fast_batched"],
+            "total": speedup_total,
+        },
+        "equivalence": {
+            "max_prediction_gap": max_gap,
+            "tolerance": 1e-10,
+            "within_tolerance": bool(max_gap <= 1e-10),
+        },
+        "target_speedup": 5.0,
+        "meets_target": bool(speedup_total >= 5.0),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\ntotal speedup: {speedup_total:.1f}x (target >= 5x) -> {args.output}")
+    if not report["equivalence"]["within_tolerance"]:
+        raise SystemExit("fast path diverged from the autodiff path beyond 1e-10")
+    if not report["meets_target"]:
+        raise SystemExit("speedup target not met")
+
+
+if __name__ == "__main__":
+    main()

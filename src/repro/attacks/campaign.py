@@ -200,6 +200,12 @@ class AttackCampaign:
     attack_factory:
         Callable building an :class:`EvasionAttack` from a predictor; lets the
         caller swap explorers or transformation sets.
+    batched:
+        When True (the default) each patient's windows are attacked through
+        :meth:`EvasionAttack.attack_batch`: a single model call screens every
+        window for eligibility and the explorer advances all windows in
+        lockstep.  Set False to restore the sequential per-window loop
+        (identical records, far slower).
     """
 
     def __init__(
@@ -208,6 +214,7 @@ class AttackCampaign:
         dataset: Optional[ForecastingDataset] = None,
         stride: int = 1,
         attack_factory=None,
+        batched: bool = True,
     ):
         if stride <= 0:
             raise ValueError("stride must be positive")
@@ -215,6 +222,7 @@ class AttackCampaign:
         self.dataset = dataset or zoo.dataset
         self.stride = int(stride)
         self.attack_factory = attack_factory or (lambda predictor: EvasionAttack(predictor))
+        self.batched = bool(batched)
 
     def run_patient(self, record: PatientRecord, split: str = "test") -> CampaignResult:
         """Attack one patient's trace."""
@@ -227,16 +235,18 @@ class AttackCampaign:
         predictor = self.zoo.model_for(record.label)
         attack = self.attack_factory(predictor)
 
-        for window_index in range(0, len(windows), self.stride):
-            target_index = target_indices[window_index]
-            scenario = scenarios[target_index]
-            attack_result = attack.attack_window(windows[window_index], scenario)
+        window_indices = list(range(0, len(windows), self.stride))
+        window_scenarios = [scenarios[target_indices[index]] for index in window_indices]
+        attack_results = attack.attack_batch(
+            windows[window_indices], window_scenarios, batched=self.batched
+        )
+        for window_index, attack_result in zip(window_indices, attack_results):
             result.records.append(
                 WindowAttackRecord(
                     patient_label=record.label,
                     split=split,
                     window_index=window_index,
-                    target_index=target_index,
+                    target_index=target_indices[window_index],
                     result=attack_result,
                 )
             )

@@ -64,6 +64,10 @@ class GlucoseRangeConstraint(Constraint):
         if self.low >= self.high:
             raise ValueError(f"low ({self.low}) must be below high ({self.high})")
 
+    #: Same defaults as :func:`numpy.allclose`, used for the non-CGM channels.
+    _RTOL = 1e-5
+    _ATOL = 1e-8
+
     def _modified_mask(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
         return (
             np.abs(window[:, self.feature_column] - original[:, self.feature_column])
@@ -71,31 +75,34 @@ class GlucoseRangeConstraint(Constraint):
         )
 
     def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
+        # This runs once per candidate edge of every search depth — the
+        # hottest non-model code in an attack campaign — so it is written as
+        # two fused comparisons with no np.delete/np.allclose temporaries.
         window = np.asarray(window, dtype=np.float64)
         original = np.asarray(original, dtype=np.float64)
         if window.shape != original.shape:
             raise ValueError("window and original must have the same shape")
-        if not np.allclose(
-            np.delete(window, self.feature_column, axis=1),
-            np.delete(original, self.feature_column, axis=1),
-        ):
-            return False  # only the CGM channel may be touched
+        # Only the CGM channel may be touched (allclose semantics elsewhere).
+        close = np.abs(window - original) <= self._ATOL + self._RTOL * np.abs(original)
+        close[:, self.feature_column] = True
+        if not close.all():
+            return False
+        cgm = window[:, self.feature_column]
         modified = self._modified_mask(window, original)
-        values = window[modified, self.feature_column]
-        return bool(np.all((values >= self.low) & (values <= self.high)))
+        in_range = (cgm >= self.low) & (cgm <= self.high)
+        return bool(np.all(in_range | ~modified))
 
     def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
-        window = np.array(window, dtype=np.float64, copy=True)
+        window = np.asarray(window, dtype=np.float64)
         original = np.asarray(original, dtype=np.float64)
-        # Restore any non-CGM channel the transformation may have touched.
-        for column in range(window.shape[1]):
-            if column != self.feature_column:
-                window[:, column] = original[:, column]
+        # Restore every non-CGM channel the transformation may have touched.
+        projected = original.copy()
+        cgm = window[:, self.feature_column]
         modified = self._modified_mask(window, original)
-        window[modified, self.feature_column] = np.clip(
-            window[modified, self.feature_column], self.low, self.high
+        projected[:, self.feature_column] = np.where(
+            modified, np.clip(cgm, self.low, self.high), cgm
         )
-        return window
+        return projected
 
 
 def constraint_for_scenario(scenario: Scenario) -> GlucoseRangeConstraint:

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.attacks.constraints import Constraint
 from repro.attacks.transformers import TransformationEdge, Transformer
-from repro.utils.rng import as_random_state
+from repro.utils.rng import SeedLike, as_random_state
 
 #: Scores a batch of candidate windows; larger is better for the adversary.
 ScoreFunction = Callable[[np.ndarray], np.ndarray]
@@ -45,8 +45,24 @@ def _expand(
     return edges
 
 
+def _check_batch_alignment(originals, constraints, goal_functions, initial_scores) -> None:
+    """Validate that every per-window sequence of a batch search lines up."""
+    if not (len(originals) == len(constraints) == len(goal_functions)):
+        raise ValueError("originals, constraints, and goal_functions must align")
+    if initial_scores is not None and len(initial_scores) != len(originals):
+        raise ValueError("initial_scores must align with originals")
+
+
 class Explorer:
-    """Interface for transformation-graph search strategies."""
+    """Interface for transformation-graph search strategies.
+
+    ``initial_score`` lets the caller hand over an already-computed model
+    score for ``original`` (e.g. the eligibility screen of
+    :class:`~repro.attacks.uret.EvasionAttack`).  When provided, the explorer
+    does not re-query the model for the starting window and its ``queries``
+    counter covers only the queries the search itself issued — so reported
+    query counts match actual model queries.
+    """
 
     def search(
         self,
@@ -55,8 +71,51 @@ class Explorer:
         constraint: Constraint,
         score_function: ScoreFunction,
         goal_function: GoalFunction,
+        initial_score: Optional[float] = None,
     ) -> ExplorationResult:
         raise NotImplementedError
+
+    def search_batch(
+        self,
+        originals: Sequence[np.ndarray],
+        transformers: Sequence[Transformer],
+        constraints: Sequence[Constraint],
+        score_function: ScoreFunction,
+        goal_functions: Sequence[GoalFunction],
+        initial_scores: Optional[Sequence[float]] = None,
+    ) -> List[ExplorationResult]:
+        """Search many windows; one constraint and goal function per window.
+
+        The base implementation simply loops :meth:`search`; explorers with a
+        true lockstep mode (see :class:`GreedyExplorer`) override it to batch
+        model queries across windows.
+        """
+        _check_batch_alignment(originals, constraints, goal_functions, initial_scores)
+        results: List[ExplorationResult] = []
+        for index, original in enumerate(originals):
+            initial = None if initial_scores is None else float(initial_scores[index])
+            results.append(
+                self.search(
+                    original,
+                    transformers,
+                    constraints[index],
+                    score_function,
+                    goal_functions[index],
+                    initial_score=initial,
+                )
+            )
+        return results
+
+    def _score_original(
+        self,
+        original: np.ndarray,
+        score_function: ScoreFunction,
+        initial_score: Optional[float],
+    ) -> Tuple[float, int]:
+        """Resolve the starting score and how many queries it cost."""
+        if initial_score is not None:
+            return float(initial_score), 0
+        return float(score_function(original[np.newaxis])[0]), 1
 
 
 @dataclass
@@ -72,11 +131,11 @@ class GreedyExplorer(Explorer):
         constraint: Constraint,
         score_function: ScoreFunction,
         goal_function: GoalFunction,
+        initial_score: Optional[float] = None,
     ) -> ExplorationResult:
         original = np.asarray(original, dtype=np.float64)
         current = original.copy()
-        current_score = float(score_function(current[np.newaxis])[0])
-        queries = 1
+        current_score, queries = self._score_original(original, score_function, initial_score)
         path: List[str] = []
 
         if goal_function(current, current_score):
@@ -102,6 +161,107 @@ class GreedyExplorer(Explorer):
             goal_function(current, current_score), current, current_score, path, queries
         )
 
+    def search_batch(
+        self,
+        originals: Sequence[np.ndarray],
+        transformers: Sequence[Transformer],
+        constraints: Sequence[Constraint],
+        score_function: ScoreFunction,
+        goal_functions: Sequence[GoalFunction],
+        initial_scores: Optional[Sequence[float]] = None,
+    ) -> List[ExplorationResult]:
+        """Lockstep greedy search: all still-active windows advance together.
+
+        Each search depth issues **one** model query covering every candidate
+        edge of every active window, instead of one query per window.  Window
+        decisions (edge choice, stopping, per-window query accounting) are
+        identical to running :meth:`search` per window; only the batching of
+        model calls differs.
+        """
+        _check_batch_alignment(originals, constraints, goal_functions, initial_scores)
+        originals = [np.asarray(window, dtype=np.float64) for window in originals]
+        n_windows = len(originals)
+        if n_windows == 0:
+            return []
+
+        if initial_scores is None:
+            start_scores = score_function(np.stack(originals))
+            base_queries = 1
+        else:
+            start_scores = np.asarray(initial_scores, dtype=np.float64)
+            base_queries = 0
+
+        current = [window.copy() for window in originals]
+        current_score = [float(score) for score in start_scores]
+        queries = [base_queries] * n_windows
+        paths: List[List[str]] = [[] for _ in range(n_windows)]
+        results: List[Optional[ExplorationResult]] = [None] * n_windows
+
+        def finalize(index: int, success: Optional[bool] = None) -> None:
+            reached = (
+                goal_functions[index](current[index], current_score[index])
+                if success is None
+                else success
+            )
+            results[index] = ExplorationResult(
+                reached, current[index], current_score[index], paths[index], queries[index]
+            )
+
+        active: List[int] = []
+        for index in range(n_windows):
+            if goal_functions[index](current[index], current_score[index]):
+                finalize(index, success=True)
+            else:
+                active.append(index)
+
+        for _ in range(self.max_depth):
+            if not active:
+                break
+            edge_lists = {}
+            expandable: List[int] = []
+            for index in active:
+                edges = _expand(current[index], originals[index], transformers, constraints[index])
+                if edges:
+                    edge_lists[index] = edges
+                    expandable.append(index)
+                else:
+                    finalize(index)
+            if not expandable:
+                active = []
+                break
+
+            # ONE model query for every candidate of every active window.
+            batch = np.concatenate(
+                [np.stack([edge.window for edge in edge_lists[index]]) for index in expandable],
+                axis=0,
+            )
+            batch_scores = score_function(batch)
+
+            offset = 0
+            still_active: List[int] = []
+            for index in expandable:
+                edges = edge_lists[index]
+                scores = batch_scores[offset : offset + len(edges)]
+                offset += len(edges)
+                queries[index] += len(edges)
+                best_index = int(np.argmax(scores))
+                best_score = float(scores[best_index])
+                if best_score <= current_score[index]:
+                    finalize(index)
+                    continue
+                current[index] = edges[best_index].window
+                current_score[index] = best_score
+                paths[index].append(edges[best_index].description)
+                if goal_functions[index](current[index], current_score[index]):
+                    finalize(index, success=True)
+                else:
+                    still_active.append(index)
+            active = still_active
+
+        for index in active:
+            finalize(index)
+        return results  # type: ignore[return-value]
+
 
 @dataclass
 class BeamExplorer(Explorer):
@@ -117,10 +277,10 @@ class BeamExplorer(Explorer):
         constraint: Constraint,
         score_function: ScoreFunction,
         goal_function: GoalFunction,
+        initial_score: Optional[float] = None,
     ) -> ExplorationResult:
         original = np.asarray(original, dtype=np.float64)
-        start_score = float(score_function(original[np.newaxis])[0])
-        queries = 1
+        start_score, queries = self._score_original(original, score_function, initial_score)
         if goal_function(original, start_score):
             return ExplorationResult(True, original.copy(), start_score, [], queries)
 
@@ -153,11 +313,21 @@ class BeamExplorer(Explorer):
 
 @dataclass
 class RandomExplorer(Explorer):
-    """Uniform random walks through the transformation graph (baseline)."""
+    """Uniform random walks through the transformation graph (baseline).
+
+    The explorer keeps one persistent random stream across ``search`` calls:
+    consecutive windows draw *different* walks (previously a fixed per-search
+    seed made every window take identical walks, correlating the baseline).
+    ``seed`` accepts an integer for a reproducible stream or a shared
+    :class:`~repro.utils.rng.RandomState` to interleave with other components.
+    """
 
     max_depth: int = 3
     n_walks: int = 10
-    seed: int = 0
+    seed: SeedLike = 0
+
+    def __post_init__(self):
+        self._rng = as_random_state(self.seed)
 
     def search(
         self,
@@ -166,13 +336,13 @@ class RandomExplorer(Explorer):
         constraint: Constraint,
         score_function: ScoreFunction,
         goal_function: GoalFunction,
+        initial_score: Optional[float] = None,
     ) -> ExplorationResult:
-        rng = as_random_state(self.seed)
+        rng = self._rng
         original = np.asarray(original, dtype=np.float64)
         best_window = original.copy()
-        best_score = float(score_function(original[np.newaxis])[0])
+        best_score, queries = self._score_original(original, score_function, initial_score)
         best_path: List[str] = []
-        queries = 1
         if goal_function(best_window, best_score):
             return ExplorationResult(True, best_window, best_score, best_path, queries)
 

@@ -27,7 +27,14 @@ from repro.glucose.states import (
 
 @dataclass
 class AttackResult:
-    """Outcome of attacking a single input window."""
+    """Outcome of attacking a single input window.
+
+    ``queries`` counts every model query spent on this window, including the
+    initial benign/eligibility screen (so an ineligible window costs exactly
+    one query).  ``benign_window`` and ``adversarial_window`` are independent
+    copies — never views into the caller's trace arrays — so downstream
+    consumers can stash them without aliasing hazards.
+    """
 
     eligible: bool
     success: bool
@@ -99,8 +106,12 @@ class EvasionAttack:
         hyperglycemic — attacking an already-hyper prediction would not change
         the diagnosis.  Ineligible windows are returned unmodified with
         ``eligible=False``.
+
+        The benign prediction is passed to the explorer as ``initial_score``,
+        so the starting window is scored exactly once and ``queries`` equals
+        the actual number of model queries.
         """
-        window = np.asarray(window, dtype=np.float64)
+        window = np.array(window, dtype=np.float64, copy=True)
         constraint = constraint or constraint_for_scenario(scenario)
         benign_prediction = self.predictor.predict_one(window)
         benign_state = classify_glucose(benign_prediction, scenario)
@@ -125,7 +136,21 @@ class EvasionAttack:
             constraint=constraint,
             score_function=self._score_function(),
             goal_function=self._goal_function(scenario),
+            initial_score=benign_prediction,
         )
+        return self._result_from_exploration(
+            window, scenario, benign_prediction, benign_state, result
+        )
+
+    def _result_from_exploration(
+        self,
+        window: np.ndarray,
+        scenario: Scenario,
+        benign_prediction: float,
+        benign_state: GlucoseState,
+        result,
+    ) -> AttackResult:
+        """Assemble an :class:`AttackResult` for one explored (eligible) window."""
         adversarial_state = classify_glucose(result.score, scenario)
         return AttackResult(
             eligible=True,
@@ -137,7 +162,8 @@ class EvasionAttack:
             adversarial_prediction=float(result.score),
             benign_state=benign_state,
             adversarial_state=adversarial_state,
-            queries=result.queries,
+            # +1 for the eligibility screen the explorer did not repeat.
+            queries=result.queries + 1,
             path=list(result.path),
         )
 
@@ -146,12 +172,74 @@ class EvasionAttack:
         windows: np.ndarray,
         scenarios: Sequence[Scenario],
         constraint: Optional[Constraint] = None,
+        batched: bool = True,
     ) -> List[AttackResult]:
-        """Attack a batch of windows, one scenario per window."""
+        """Attack a batch of windows, one scenario per window.
+
+        With ``batched=True`` (the default) the whole batch runs through the
+        batched inference engine: eligibility screening is ONE model call
+        over all windows, and the explorer's lockstep mode advances every
+        still-active window together, issuing one large model query per
+        search depth instead of one small query per window.  Set
+        ``batched=False`` to fall back to the sequential per-window loop
+        (identical results, many more model calls).
+        """
         windows = np.asarray(windows, dtype=np.float64)
         if len(windows) != len(scenarios):
             raise ValueError("windows and scenarios must have the same length")
-        return [
-            self.attack_window(window, scenario, constraint)
-            for window, scenario in zip(windows, scenarios)
-        ]
+        if len(windows) == 0:
+            return []
+        if not batched:
+            return [
+                self.attack_window(window, scenario, constraint)
+                for window, scenario in zip(windows, scenarios)
+            ]
+
+        # One batched query screens every window for eligibility.
+        benign_predictions = self.predictor.predict(windows)
+        results: List[Optional[AttackResult]] = [None] * len(windows)
+        eligible_indices: List[int] = []
+        for index, scenario in enumerate(scenarios):
+            benign_prediction = float(benign_predictions[index])
+            benign_state = classify_glucose(benign_prediction, scenario)
+            if benign_state == GlucoseState.HYPER:
+                window = windows[index].copy()
+                results[index] = AttackResult(
+                    eligible=False,
+                    success=False,
+                    scenario=scenario,
+                    benign_window=window,
+                    adversarial_window=window.copy(),
+                    benign_prediction=benign_prediction,
+                    adversarial_prediction=benign_prediction,
+                    benign_state=benign_state,
+                    adversarial_state=benign_state,
+                    queries=1,
+                )
+            else:
+                eligible_indices.append(index)
+
+        if eligible_indices:
+            explorations = self.explorer.search_batch(
+                originals=[windows[index] for index in eligible_indices],
+                transformers=self.transformers,
+                constraints=[
+                    constraint or constraint_for_scenario(scenarios[index])
+                    for index in eligible_indices
+                ],
+                score_function=self._score_function(),
+                goal_functions=[
+                    self._goal_function(scenarios[index]) for index in eligible_indices
+                ],
+                initial_scores=[float(benign_predictions[index]) for index in eligible_indices],
+            )
+            for index, exploration in zip(eligible_indices, explorations):
+                benign_prediction = float(benign_predictions[index])
+                results[index] = self._result_from_exploration(
+                    windows[index].copy(),
+                    scenarios[index],
+                    benign_prediction,
+                    classify_glucose(benign_prediction, scenarios[index]),
+                    exploration,
+                )
+        return results  # type: ignore[return-value]

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.attacks.campaign import CampaignResult
+from repro.attacks.campaign import CampaignResult, WindowAttackRecord
 from repro.data.cohort import CGM_COLUMN, Cohort
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.knn import KNNClassifierDetector
@@ -332,25 +332,36 @@ def trace_detection(
     """
     if unit not in ("sample", "window"):
         raise ValueError("unit must be 'sample' or 'window'")
-    samples: List[TraceDetectionSample] = []
+    # Collect every window first so the detector is queried ONCE with the
+    # whole batch instead of once per window.  Deterministic detectors (kNN,
+    # OneClassSVM) flag identically either way; MAD-GAN's inversion draws
+    # per-call latents, so batching changes its stochastic reconstruction the
+    # same way the batched evaluate_detector/ detection_experiment paths do.
+    views: List[np.ndarray] = []
+    annotated: List[Tuple[WindowAttackRecord, np.ndarray, bool]] = []
     for record in campaign.for_patient(patient_label):
         result = record.result
         windows = [(result.benign_window, False)]
         if result.eligible and result.success:
             windows.append((result.adversarial_window, True))
         for window, is_malicious in windows:
-            detector_view = window[-1:] if unit == "sample" else window
-            flagged = bool(detector.predict(detector_view[np.newaxis])[0])
-            samples.append(
-                TraceDetectionSample(
-                    patient_label=patient_label,
-                    target_index=record.target_index,
-                    scenario=result.scenario,
-                    cgm_value=float(window[-1, CGM_COLUMN]),
-                    is_malicious=is_malicious,
-                    flagged=flagged,
-                )
+            views.append(window[-1:] if unit == "sample" else window)
+            annotated.append((record, window, is_malicious))
+    if not views:
+        return []
+    flags = detector.predict(np.stack(views))
+    samples: List[TraceDetectionSample] = []
+    for (record, window, is_malicious), flag in zip(annotated, flags):
+        samples.append(
+            TraceDetectionSample(
+                patient_label=patient_label,
+                target_index=record.target_index,
+                scenario=record.result.scenario,
+                cgm_value=float(window[-1, CGM_COLUMN]),
+                is_malicious=is_malicious,
+                flagged=bool(flag),
             )
+        )
     return samples
 
 

@@ -6,7 +6,16 @@ recurrent layers (LSTM / bidirectional LSTM), loss functions, and optimizers —
 enough to train the target glucose forecaster and the MAD-GAN detector.
 """
 
-from repro.nn.tensor import Tensor, as_tensor, concatenate, stack, zeros, ones
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    zeros,
+    ones,
+)
 from repro.nn.module import (
     Activation,
     Dense,
@@ -15,6 +24,7 @@ from repro.nn.module import (
     Parameter,
     Sequential,
     apply_activation,
+    apply_activation_array,
 )
 from repro.nn.recurrent import LSTM, BiLSTM, LSTMCell
 from repro.nn.functional import (
@@ -34,6 +44,8 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "concatenate",
+    "is_grad_enabled",
+    "no_grad",
     "stack",
     "zeros",
     "ones",
@@ -44,6 +56,7 @@ __all__ = [
     "Activation",
     "Sequential",
     "apply_activation",
+    "apply_activation_array",
     "LSTMCell",
     "LSTM",
     "BiLSTM",

@@ -64,5 +64,26 @@ def l2_penalty(parameters, weight: float = 1e-4) -> Tensor:
 
 
 def sigmoid(values: np.ndarray) -> np.ndarray:
-    """Plain numpy sigmoid (for non-differentiable post-processing)."""
+    """Plain numpy sigmoid (for non-differentiable post-processing).
+
+    Uses the same clipped formulation as :meth:`Tensor.sigmoid`, so the
+    graph-free inference fast path matches the autodiff forward exactly.
+    """
     return 1.0 / (1.0 + np.exp(-np.clip(values, -60.0, 60.0)))
+
+
+def tanh(values: np.ndarray) -> np.ndarray:
+    """Plain numpy tanh (mirrors :meth:`Tensor.tanh` for the fast path)."""
+    return np.tanh(values)
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Plain numpy ReLU, computed as ``x * (x > 0)`` to mirror :meth:`Tensor.relu`."""
+    values = np.asarray(values)
+    return values * (values > 0)
+
+
+def leaky_relu(values: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    """Plain numpy leaky ReLU (mirrors :meth:`Tensor.leaky_relu`)."""
+    values = np.asarray(values)
+    return np.where(values > 0, values, negative_slope * values)

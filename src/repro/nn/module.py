@@ -6,8 +6,9 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn.initializers import get_initializer
-from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.tensor import Tensor, as_tensor, no_grad
 from repro.utils.rng import RandomState, as_random_state
 
 _ACTIVATIONS = {
@@ -15,6 +16,17 @@ _ACTIVATIONS = {
     "sigmoid": lambda x: x.sigmoid(),
     "relu": lambda x: x.relu(),
     "leaky_relu": lambda x: x.leaky_relu(),
+    "linear": lambda x: x,
+    None: lambda x: x,
+}
+
+# Graph-free numpy twins of the tensor activations, used by the inference
+# fast path.  Each mirrors the corresponding Tensor op bit-for-bit.
+_ACTIVATION_ARRAYS = {
+    "tanh": F.tanh,
+    "sigmoid": F.sigmoid,
+    "relu": F.relu,
+    "leaky_relu": F.leaky_relu,
     "linear": lambda x: x,
     None: lambda x: x,
 }
@@ -28,6 +40,16 @@ def apply_activation(value: Tensor, activation: Optional[str]) -> Tensor:
             f"{sorted(key for key in _ACTIVATIONS if key)}"
         )
     return _ACTIVATIONS[activation](value)
+
+
+def apply_activation_array(values: np.ndarray, activation: Optional[str]) -> np.ndarray:
+    """Apply a named activation to a raw numpy array (inference fast path)."""
+    if activation not in _ACTIVATION_ARRAYS:
+        raise ValueError(
+            f"unknown activation {activation!r}; available: "
+            f"{sorted(key for key in _ACTIVATION_ARRAYS if key)}"
+        )
+    return _ACTIVATION_ARRAYS[activation](values)
 
 
 class Parameter(Tensor):
@@ -53,7 +75,45 @@ class Module:
     def __call__(self, *inputs):
         return self.forward(*inputs)
 
+    # ------------------------------------------------------------- inference
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Graph-free forward pass on raw numpy arrays.
+
+        Subclasses with a hand-written fast path (fused matmuls, preallocated
+        buffers) override this; the default falls back to :meth:`forward`
+        under :class:`~repro.nn.tensor.no_grad`, which still skips all
+        backward-closure allocation.  Implementations must match the autodiff
+        forward to within 1e-10 (see ``tests/test_nn_fastpath.py``).
+        """
+        with no_grad():
+            output = self.forward(inputs)
+        return output.numpy(copy=True) if isinstance(output, Tensor) else np.asarray(output)
+
+    def predict(self, inputs) -> np.ndarray:
+        """Batched eval-mode inference without building the autodiff graph.
+
+        Temporarily switches the module tree to evaluation mode (so dropout
+        and friends are no-ops), runs the graph-free fast path, and restores
+        the previous training flags.  This is the entry point the attack hot
+        path uses for its thousands of model queries.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        flags = [(module, module.training) for module in self.modules()]
+        try:
+            for module, _ in flags:
+                module.training = False
+            return self.fast_forward(inputs)
+        finally:
+            for module, was_training in flags:
+                module.training = was_training
+
     # ------------------------------------------------------------- traversal
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
     def children(self) -> Iterator["Module"]:
         for value in self.__dict__.values():
             if isinstance(value, Module):
@@ -186,6 +246,12 @@ class Dense(Module):
             output = output + self.bias
         return apply_activation(output, self.activation)
 
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = np.asarray(inputs, dtype=np.float64) @ self.weight.data
+        if self.bias is not None:
+            output = output + self.bias.data
+        return apply_activation_array(output, self.activation)
+
 
 class Dropout(Module):
     """Inverted dropout; a no-op in evaluation mode."""
@@ -205,6 +271,10 @@ class Dropout(Module):
         mask = (self._rng.random(inputs.shape) < keep_probability) / keep_probability
         return inputs * Tensor(mask)
 
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        # Inference fast path == eval mode: dropout is always the identity.
+        return np.asarray(inputs, dtype=np.float64)
+
 
 class Activation(Module):
     """A standalone activation layer."""
@@ -217,6 +287,9 @@ class Activation(Module):
 
     def forward(self, inputs) -> Tensor:
         return apply_activation(as_tensor(inputs), self.activation)
+
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        return apply_activation_array(np.asarray(inputs, dtype=np.float64), self.activation)
 
 
 class Sequential(Module):
@@ -234,6 +307,12 @@ class Sequential(Module):
         output = inputs
         for layer in self.layers:
             output = layer(output)
+        return output
+
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = np.asarray(inputs, dtype=np.float64)
+        for layer in self.layers:
+            output = layer.fast_forward(output)
         return output
 
     def __len__(self) -> int:

@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.functional import sigmoid as _sigmoid
 from repro.nn.initializers import orthogonal, xavier_uniform
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor, concatenate, stack
@@ -62,6 +63,34 @@ class LSTMCell(Module):
 
         new_cell = forget_gate * cell + input_gate * candidate
         new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def fast_step(
+        self,
+        input_projection: np.ndarray,
+        hidden: np.ndarray,
+        cell: np.ndarray,
+        gates_buffer: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Graph-free LSTM step on raw numpy arrays.
+
+        ``input_projection`` is the precomputed ``x_t @ weight_input`` row
+        block (the input projection for every timestep is fused into one
+        matrix multiplication by :meth:`LSTM.fast_forward`); ``gates_buffer``
+        is a reusable ``(batch, 4 * hidden)`` scratch array so the recurrence
+        allocates nothing per timestep beyond the new states.
+        """
+        np.matmul(hidden, self.weight_hidden.data, out=gates_buffer)
+        gates_buffer += input_projection
+        gates_buffer += self.bias.data
+        size = self.hidden_size
+        input_gate = _sigmoid(gates_buffer[:, 0:size])
+        forget_gate = _sigmoid(gates_buffer[:, size : 2 * size])
+        candidate = np.tanh(gates_buffer[:, 2 * size : 3 * size])
+        output_gate = _sigmoid(gates_buffer[:, 3 * size : 4 * size])
+
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * np.tanh(new_cell)
         return new_hidden, new_cell
 
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
@@ -126,6 +155,41 @@ class LSTM(Module):
             outputs = outputs[::-1]
         return stack(outputs, axis=1)
 
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Graph-free unrolled forward.
+
+        The input-to-hidden projection of *all* timesteps is fused into one
+        ``(batch * time, features) @ (features, 4 * hidden)`` matrix
+        multiplication, and the per-step recurrence reuses a single gate
+        scratch buffer — no :class:`Tensor` nodes are allocated anywhere.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"LSTM expects inputs of shape (batch, time, features), got {inputs.shape}"
+            )
+        batch_size, timesteps, features = inputs.shape
+        size = self.hidden_size
+        projections = (
+            inputs.reshape(batch_size * timesteps, features) @ self.cell.weight_input.data
+        ).reshape(batch_size, timesteps, 4 * size)
+
+        hidden = np.zeros((batch_size, size))
+        cell_state = np.zeros((batch_size, size))
+        gates_buffer = np.empty((batch_size, 4 * size))
+        sequence = (
+            np.empty((batch_size, timesteps, size)) if self.return_sequences else None
+        )
+
+        time_order = range(timesteps - 1, -1, -1) if self.reverse else range(timesteps)
+        for step in time_order:
+            hidden, cell_state = self.cell.fast_step(
+                projections[:, step, :], hidden, cell_state, gates_buffer
+            )
+            if sequence is not None:
+                sequence[:, step, :] = hidden
+        return hidden if sequence is None else sequence
+
 
 class BiLSTM(Module):
     """A bidirectional LSTM that concatenates forward and backward states.
@@ -167,3 +231,9 @@ class BiLSTM(Module):
         forward_out = self.forward_layer(inputs)
         backward_out = self.backward_layer(inputs)
         return concatenate([forward_out, backward_out], axis=-1)
+
+    def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        forward_out = self.forward_layer.fast_forward(inputs)
+        backward_out = self.backward_layer.fast_forward(inputs)
+        return np.concatenate([forward_out, backward_out], axis=-1)

@@ -18,6 +18,49 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+# Global switch for graph construction.  When False (inside ``no_grad``),
+# every operation produces a plain leaf tensor: no parents, no backward
+# closures, no gradient bookkeeping.  Inference-only code paths use this to
+# avoid the per-op allocation cost of the autodiff graph.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """True when operations record the autodiff graph (the default)."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager that disables autodiff graph construction.
+
+    Inside the context every tensor operation returns a graph-free result
+    (``requires_grad=False``, no parents), so forward passes allocate no
+    backward closures.  Nesting is supported; the previous state is restored
+    on exit.  Can also be used as a decorator.
+
+    >>> with no_grad():
+    ...     prediction = model(inputs)  # no graph is recorded
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+    def __call__(self, function: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            with no_grad():
+                return function(*args, **kwargs)
+
+        wrapped.__name__ = getattr(function, "__name__", "wrapped")
+        wrapped.__doc__ = function.__doc__
+        return wrapped
+
 
 def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``gradient`` over axes that were broadcast to reach ``gradient.shape``.
@@ -74,9 +117,27 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
-    def numpy(self) -> np.ndarray:
-        """Return the underlying numpy array (not a copy)."""
-        return self.data
+    def numpy(self, copy: bool = False) -> np.ndarray:
+        """Return the tensor's values as a numpy array.
+
+        .. warning::
+            With ``copy=False`` (the default) this returns the tensor's
+            **underlying buffer**, not a copy: mutating the returned array
+            mutates the tensor (and anything else aliasing it), and the
+            array may later be mutated by in-place parameter updates.  Pass
+            ``copy=True`` — or use :meth:`detach_copy` — whenever the caller
+            stores the result or hands it to code that may write to it.
+        """
+        return self.data.copy() if copy else self.data
+
+    def detach_copy(self) -> np.ndarray:
+        """Return an independent numpy copy of the values (never aliased).
+
+        Equivalent to ``tensor.numpy(copy=True)``; the spelling makes the
+        intent explicit at call sites that persist model outputs (e.g. attack
+        code storing benign/adversarial windows).
+        """
+        return self.data.copy()
 
     def item(self) -> float:
         return float(self.data)
@@ -103,7 +164,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(parent.requires_grad for parent in parents)
+        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
         child = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
         if requires:
 
@@ -370,7 +431,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     sizes = [tensor.data.shape[axis] for tensor in tensors]
     boundaries = np.cumsum(sizes)[:-1]
 
-    requires = any(tensor.requires_grad for tensor in tensors)
+    requires = _GRAD_ENABLED and any(tensor.requires_grad for tensor in tensors)
     out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
     if requires:
 
@@ -387,7 +448,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient routing."""
     tensors = [Tensor._coerce(tensor) for tensor in tensors]
     data = np.stack([tensor.data for tensor in tensors], axis=axis)
-    requires = any(tensor.requires_grad for tensor in tensors)
+    requires = _GRAD_ENABLED and any(tensor.requires_grad for tensor in tensors)
     out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
     if requires:
 

@@ -1,0 +1,220 @@
+"""Tests for the batched attack engine: lockstep search, query accounting,
+RNG de-correlation, and batched/per-window equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackCampaign,
+    EvasionAttack,
+    GreedyExplorer,
+    RandomExplorer,
+    SuffixLevelTransformer,
+    constraint_for_scenario,
+    default_transformers,
+)
+from repro.data.cohort import CGM_COLUMN
+from repro.glucose import Scenario
+
+
+def benign_window(level: float = 110.0, history: int = 12) -> np.ndarray:
+    window = np.zeros((history, 4))
+    window[:, CGM_COLUMN] = level
+    window[:, 1] = 0.5
+    window[:, 3] = 70.0
+    return window
+
+
+class CountingPredictor:
+    """Last-value stub that counts every window row scored by the model."""
+
+    def __init__(self):
+        self.rows_scored = 0
+
+    def predict(self, windows):
+        windows = np.asarray(windows, dtype=np.float64)
+        self.rows_scored += len(windows)
+        return windows[:, -1, CGM_COLUMN]
+
+    def predict_one(self, window):
+        return float(self.predict(np.asarray(window)[np.newaxis])[0])
+
+
+def assert_results_equal(left, right):
+    assert left.eligible == right.eligible
+    assert left.success == right.success
+    assert left.benign_state == right.benign_state
+    assert left.adversarial_state == right.adversarial_state
+    assert left.path == right.path
+    assert left.queries == right.queries
+    np.testing.assert_array_equal(left.benign_window, right.benign_window)
+    np.testing.assert_array_equal(left.adversarial_window, right.adversarial_window)
+    assert left.benign_prediction == pytest.approx(right.benign_prediction, abs=1e-10)
+    assert left.adversarial_prediction == pytest.approx(right.adversarial_prediction, abs=1e-10)
+
+
+class TestQueryAccounting:
+    def test_reported_queries_match_actual_model_queries(self):
+        predictor = CountingPredictor()
+        attack = EvasionAttack(predictor)
+        result = attack.attack_window(benign_window(110.0), Scenario.POSTPRANDIAL)
+        assert result.eligible
+        assert result.queries == predictor.rows_scored
+
+    def test_ineligible_window_costs_one_query(self):
+        predictor = CountingPredictor()
+        attack = EvasionAttack(predictor)
+        result = attack.attack_window(benign_window(250.0), Scenario.POSTPRANDIAL)
+        assert not result.eligible
+        assert result.queries == predictor.rows_scored == 1
+
+    def test_batch_queries_match_actual_model_queries(self):
+        predictor = CountingPredictor()
+        attack = EvasionAttack(predictor)
+        windows = np.stack([benign_window(level) for level in (95.0, 120.0, 240.0, 150.0)])
+        results = attack.attack_batch(windows, [Scenario.POSTPRANDIAL] * 4)
+        assert sum(result.queries for result in results) == predictor.rows_scored
+
+    def test_explorer_skips_rescoring_when_given_initial_score(self):
+        predictor = CountingPredictor()
+        explorer = GreedyExplorer(max_depth=1)
+        result = explorer.search(
+            original=benign_window(110.0),
+            transformers=[SuffixLevelTransformer(levels=(260.0,), suffix_lengths=(2,))],
+            constraint=constraint_for_scenario(Scenario.POSTPRANDIAL),
+            score_function=predictor.predict,
+            goal_function=lambda window, score: score > 200.0,
+            initial_score=110.0,
+        )
+        assert result.queries == predictor.rows_scored  # no benign re-score
+
+
+class TestLockstepEquivalence:
+    LEVELS = (90.0, 100.0, 110.0, 150.0, 175.0, 250.0, 400.0)
+
+    def _compare(self, explorer_factory):
+        windows = np.stack([benign_window(level) for level in self.LEVELS])
+        scenarios = [
+            Scenario.POSTPRANDIAL if index % 2 else Scenario.FASTING
+            for index in range(len(self.LEVELS))
+        ]
+        batched = EvasionAttack(CountingPredictor(), explorer=explorer_factory()).attack_batch(
+            windows, scenarios
+        )
+        sequential = EvasionAttack(CountingPredictor(), explorer=explorer_factory()).attack_batch(
+            windows, scenarios, batched=False
+        )
+        assert len(batched) == len(sequential) == len(self.LEVELS)
+        for left, right in zip(batched, sequential):
+            assert_results_equal(left, right)
+
+    def test_greedy_lockstep_reproduces_per_window_results(self):
+        self._compare(lambda: GreedyExplorer(max_depth=3))
+
+    def test_default_search_batch_loops_per_window(self):
+        # RandomExplorer has no lockstep override; search_batch must still work.
+        self._compare(lambda: RandomExplorer(max_depth=2, n_walks=5, seed=3))
+
+    def test_lockstep_with_real_predictor(self, tiny_zoo, tiny_cohort):
+        predictor = tiny_zoo.model_for("A_5")
+        record = next(r for r in tiny_cohort if r.label == "A_5")
+        windows, _, _ = tiny_zoo.dataset.from_record(record, "test")
+        windows = windows[::10][:6]
+        scenarios = [Scenario.POSTPRANDIAL] * len(windows)
+        batched = EvasionAttack(predictor).attack_batch(windows, scenarios)
+        sequential = EvasionAttack(predictor).attack_batch(windows, scenarios, batched=False)
+        for left, right in zip(batched, sequential):
+            assert left.eligible == right.eligible
+            assert left.success == right.success
+            assert left.path == right.path
+            assert left.queries == right.queries
+            np.testing.assert_array_equal(left.adversarial_window, right.adversarial_window)
+            assert left.benign_prediction == pytest.approx(right.benign_prediction, abs=1e-10)
+
+    def test_empty_batch(self):
+        attack = EvasionAttack(CountingPredictor())
+        assert attack.attack_batch(np.empty((0, 12, 4)), []) == []
+
+    def test_mismatched_lengths_rejected(self):
+        attack = EvasionAttack(CountingPredictor())
+        with pytest.raises(ValueError):
+            attack.attack_batch(np.stack([benign_window()]), [])
+
+
+class TestAliasingSafety:
+    def test_attack_window_copies_caller_array(self):
+        attack = EvasionAttack(CountingPredictor())
+        window = benign_window(110.0)
+        result = attack.attack_window(window, Scenario.POSTPRANDIAL)
+        window[:, CGM_COLUMN] = -1.0  # caller mutates their buffer afterwards
+        assert np.all(result.benign_window[:, CGM_COLUMN] == 110.0)
+
+    def test_attack_batch_copies_caller_array(self):
+        attack = EvasionAttack(CountingPredictor())
+        windows = np.stack([benign_window(110.0), benign_window(250.0)])
+        results = attack.attack_batch(windows, [Scenario.POSTPRANDIAL] * 2)
+        windows[:] = -1.0
+        assert np.all(results[0].benign_window[:, CGM_COLUMN] == 110.0)
+        assert np.all(results[1].benign_window[:, CGM_COLUMN] == 250.0)
+
+
+class TestRandomExplorerRNG:
+    def _run_search(self, explorer, walk_log=None):
+        def score(batch):
+            batch = np.asarray(batch, dtype=np.float64)
+            if walk_log is not None:
+                walk_log.append(batch.copy())
+            return batch[:, -1, CGM_COLUMN] * 0.0
+
+        return explorer.search(
+            original=benign_window(110.0),
+            transformers=default_transformers(),
+            constraint=constraint_for_scenario(Scenario.POSTPRANDIAL),
+            score_function=score,
+            goal_function=lambda window, score: False,  # unreachable: walk everywhere
+            initial_score=0.0,
+        )
+
+    def test_consecutive_searches_are_decorrelated(self):
+        explorer = RandomExplorer(max_depth=3, n_walks=3, seed=0)
+        first_walks, second_walks = [], []
+        self._run_search(explorer, first_walks)
+        self._run_search(explorer, second_walks)
+        # With the old fixed per-search seed every window got identical walks;
+        # the shared stream must now produce different walk endpoints.
+        assert not all(
+            np.array_equal(left, right) for left, right in zip(first_walks, second_walks)
+        )
+
+    def test_same_seed_reproduces_the_sequence(self):
+        results_a = [self._run_search(RandomExplorer(max_depth=2, n_walks=2, seed=42))]
+        results_b = [self._run_search(RandomExplorer(max_depth=2, n_walks=2, seed=42))]
+        for left, right in zip(results_a, results_b):
+            np.testing.assert_array_equal(left.window, right.window)
+            assert left.path == right.path
+
+    def test_shared_rng_accepted(self):
+        from repro.utils.rng import RandomState
+
+        shared = RandomState(7)
+        explorer = RandomExplorer(max_depth=2, n_walks=2, seed=shared)
+        result = self._run_search(explorer)
+        assert result.queries > 0
+
+
+class TestBatchedCampaign:
+    def test_batched_campaign_matches_sequential(self, tiny_zoo, tiny_cohort):
+        record = next(r for r in tiny_cohort if r.label == "A_5")
+        batched = AttackCampaign(tiny_zoo, stride=12).run_patient(record, "test")
+        sequential = AttackCampaign(tiny_zoo, stride=12, batched=False).run_patient(record, "test")
+        assert len(batched.records) == len(sequential.records) > 0
+        for left, right in zip(batched.records, sequential.records):
+            assert left.window_index == right.window_index
+            assert left.target_index == right.target_index
+            assert left.result.eligible == right.result.eligible
+            assert left.result.success == right.result.success
+            assert left.result.path == right.result.path
+            assert left.result.queries == right.result.queries
+            np.testing.assert_array_equal(
+                left.result.adversarial_window, right.result.adversarial_window
+            )
