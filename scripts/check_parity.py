@@ -1,0 +1,130 @@
+"""Fast parity smoke check for the batched attack engine.
+
+Asserts, on a tiny cohort, that every explorer's lockstep ``search_batch``
+reproduces the sequential per-window reference exactly (same eligibility,
+success, paths, query counts, and adversarial windows) and that the inference
+fast path stays within its 1e-10 regression tolerance.  This is the cheap
+tripwire between "every PR runs the full benchmark" and "parity silently
+regresses": it is wired into the tier-1 suite (``tests/test_explorer_parity.py``
+imports :func:`run_checks`) and can be run standalone::
+
+    PYTHONPATH=src python scripts/check_parity.py
+
+Exit status is non-zero on any parity violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.attacks import BeamExplorer, EvasionAttack, GreedyExplorer, RandomExplorer
+from repro.data import SyntheticOhioT1DM, make_patient_profile
+from repro.glucose import GlucoseModelZoo, Scenario
+
+PREDICTION_TOLERANCE = 1e-10
+
+EXPLORER_FACTORIES = {
+    "greedy": lambda seed: GreedyExplorer(max_depth=2),
+    "beam": lambda seed: BeamExplorer(beam_width=2, max_depth=2),
+    "random": lambda seed: RandomExplorer(max_depth=2, n_walks=4, seed=seed),
+}
+
+
+def build_fixture():
+    """Two-patient cohort and an aggregate-only zoo, trained with a tiny budget."""
+    profiles = [make_patient_profile("A", 5), make_patient_profile("A", 2)]
+    cohort = SyntheticOhioT1DM(train_days=1, test_days=1, seed=7, profiles=profiles).generate()
+    zoo = GlucoseModelZoo(
+        predictor_kwargs=dict(epochs=1, hidden_size=8), train_personalized=False, seed=3
+    )
+    zoo.fit(cohort)
+    return cohort, zoo
+
+
+def _compare_results(batched, sequential) -> None:
+    """Raise AssertionError unless two AttackResult lists are equivalent."""
+    assert len(batched) == len(sequential), "result count mismatch"
+    for left, right in zip(batched, sequential):
+        assert left.eligible == right.eligible, "eligibility mismatch"
+        assert left.success == right.success, "success mismatch"
+        assert left.path == right.path, f"path mismatch: {left.path} != {right.path}"
+        assert left.queries == right.queries, (
+            f"query-count mismatch: {left.queries} != {right.queries}"
+        )
+        np.testing.assert_array_equal(left.adversarial_window, right.adversarial_window)
+        assert abs(left.adversarial_prediction - right.adversarial_prediction) <= (
+            PREDICTION_TOLERANCE
+        ), "adversarial prediction drifted beyond tolerance"
+
+
+def run_checks(
+    zoo: GlucoseModelZoo,
+    cohort,
+    seeds: Sequence[int] = (0, 1, 2),
+    stride: int = 10,
+    max_windows: int = 8,
+) -> Dict[str, dict]:
+    """Run every explorer's batched-vs-sequential parity check on real windows.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    record = next(iter(cohort))
+    windows, _, _ = zoo.dataset.from_record(record, "test")
+    windows = windows[::stride][:max_windows]
+    if len(windows) == 0:
+        raise RuntimeError("fixture produced no test windows")
+    scenarios = [
+        Scenario.POSTPRANDIAL if index % 2 else Scenario.FASTING
+        for index in range(len(windows))
+    ]
+    predictor = zoo.model_for(record.label)
+
+    fast = predictor.predict(windows)
+    graph = predictor.predict_graph(windows)
+    max_gap = float(np.abs(fast - graph).max())
+    assert max_gap <= PREDICTION_TOLERANCE, (
+        f"fast path diverged from the autodiff path: {max_gap:.3e}"
+    )
+
+    report: Dict[str, dict] = {"max_prediction_gap": max_gap, "n_windows": len(windows)}
+    for name, factory in EXPLORER_FACTORIES.items():
+        report[name] = {}
+        for seed in seeds:
+            batched = EvasionAttack(predictor, explorer=factory(seed)).attack_batch(
+                windows, scenarios, batched=True
+            )
+            sequential = EvasionAttack(predictor, explorer=factory(seed)).attack_batch(
+                windows, scenarios, batched=False
+            )
+            _compare_results(batched, sequential)
+            report[name][seed] = {
+                "n_eligible": sum(result.eligible for result in batched),
+                "n_success": sum(result.success for result in batched),
+                "total_queries": sum(result.queries for result in batched),
+            }
+    return report
+
+
+def main() -> int:
+    print("building tiny fixture...")
+    cohort, zoo = build_fixture()
+    print("running parity checks (greedy, beam, random x 3 seeds)...")
+    try:
+        report = run_checks(zoo, cohort)
+    except AssertionError as error:
+        print(f"PARITY VIOLATION: {error}")
+        return 1
+    print(f"  max |fast - graph| prediction gap: {report['max_prediction_gap']:.3e}")
+    for name in EXPLORER_FACTORIES:
+        per_seed = report[name]
+        queries = sorted(stats["total_queries"] for stats in per_seed.values())
+        print(f"  {name}: parity ok across seeds (query totals {queries})")
+    print("all parity checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

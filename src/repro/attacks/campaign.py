@@ -206,6 +206,17 @@ class AttackCampaign:
         window for eligibility and the explorer advances all windows in
         lockstep.  Set False to restore the sequential per-window loop
         (identical records, far slower).
+    cohort_batched:
+        When True, :meth:`run_cohort` merges the eligible windows of every
+        patient *sharing a target model* (e.g. the aggregate-model campaign)
+        into one lockstep search, so a whole cohort advances together with
+        one model query per search depth.  Per-patient
+        :class:`WindowAttackRecord` attribution and record ordering are
+        preserved.  Defaults to ``batched``; with deterministic explorers
+        (greedy, beam) the records are identical to per-patient runs, while
+        stochastic explorers allocate their RNG stream across the merged
+        batch (still reproducible for a fixed seed — see
+        ``tests/test_attacks_batched.py``).
     """
 
     def __init__(
@@ -215,6 +226,7 @@ class AttackCampaign:
         stride: int = 1,
         attack_factory=None,
         batched: bool = True,
+        cohort_batched: Optional[bool] = None,
     ):
         if stride <= 0:
             raise ValueError("stride must be positive")
@@ -223,39 +235,107 @@ class AttackCampaign:
         self.stride = int(stride)
         self.attack_factory = attack_factory or (lambda predictor: EvasionAttack(predictor))
         self.batched = bool(batched)
+        self.cohort_batched = self.batched if cohort_batched is None else bool(cohort_batched)
+
+    def _prepare_patient(self, record: PatientRecord, split: str):
+        """Strided windows + scenarios for one patient, or None if the trace is empty."""
+        windows, _, target_indices = self.dataset.from_record(record, split)
+        if len(windows) == 0:
+            return None
+        carbs = record.features(split)[:, 2]
+        scenarios = scenario_for_samples(carbs)
+        window_indices = list(range(0, len(windows), self.stride))
+        window_scenarios = [scenarios[target_indices[index]] for index in window_indices]
+        return windows[window_indices], window_indices, target_indices, window_scenarios
+
+    def _records_for(
+        self,
+        record: PatientRecord,
+        split: str,
+        window_indices: Sequence[int],
+        target_indices: Sequence[int],
+        attack_results,
+    ) -> List[WindowAttackRecord]:
+        return [
+            WindowAttackRecord(
+                patient_label=record.label,
+                split=split,
+                window_index=window_index,
+                target_index=target_indices[window_index],
+                result=attack_result,
+            )
+            for window_index, attack_result in zip(window_indices, attack_results)
+        ]
 
     def run_patient(self, record: PatientRecord, split: str = "test") -> CampaignResult:
         """Attack one patient's trace."""
-        windows, _, target_indices = self.dataset.from_record(record, split)
         result = CampaignResult()
-        if len(windows) == 0:
+        prepared = self._prepare_patient(record, split)
+        if prepared is None:
             return result
-        carbs = record.features(split)[:, 2]
-        scenarios = scenario_for_samples(carbs)
-        predictor = self.zoo.model_for(record.label)
-        attack = self.attack_factory(predictor)
-
-        window_indices = list(range(0, len(windows), self.stride))
-        window_scenarios = [scenarios[target_indices[index]] for index in window_indices]
-        attack_results = attack.attack_batch(
-            windows[window_indices], window_scenarios, batched=self.batched
+        windows, window_indices, target_indices, window_scenarios = prepared
+        attack = self.attack_factory(self.zoo.model_for(record.label))
+        attack_results = attack.attack_batch(windows, window_scenarios, batched=self.batched)
+        result.records.extend(
+            self._records_for(record, split, window_indices, target_indices, attack_results)
         )
-        for window_index, attack_result in zip(window_indices, attack_results):
-            result.records.append(
-                WindowAttackRecord(
-                    patient_label=record.label,
-                    split=split,
-                    window_index=window_index,
-                    target_index=target_indices[window_index],
-                    result=attack_result,
-                )
-            )
         return result
 
     def run_cohort(self, cohort: Cohort, split: str = "test") -> CampaignResult:
-        """Attack every patient in a cohort and merge the records."""
+        """Attack every patient in a cohort and merge the records.
+
+        With ``cohort_batched`` (the default when ``batched``), patients that
+        share a target model are attacked through ONE merged lockstep search:
+        a single eligibility screen covers every patient's windows and each
+        search depth issues one model query for the whole cohort, instead of
+        one batch per patient.  Records keep per-patient attribution and are
+        ordered exactly as the per-patient loop would order them (cohort
+        order, then trace order).
+        """
         merged = CampaignResult()
+        if not (self.batched and self.cohort_batched):
+            for record in cohort:
+                merged.records.extend(self.run_patient(record, split).records)
+            return merged
+
+        prepared_by_label: Dict[str, tuple] = {}
+        groups: Dict[int, List[PatientRecord]] = {}
+        predictors: Dict[int, object] = {}
         for record in cohort:
-            patient_result = self.run_patient(record, split)
-            merged.records.extend(patient_result.records)
+            prepared = self._prepare_patient(record, split)
+            if prepared is None:
+                continue
+            predictor = self.zoo.model_for(record.label)
+            key = id(predictor)
+            prepared_by_label[record.label] = prepared
+            predictors[key] = predictor
+            groups.setdefault(key, []).append(record)
+
+        records_by_label: Dict[str, List[WindowAttackRecord]] = {}
+        for key, group in groups.items():
+            attack = self.attack_factory(predictors[key])
+            merged_windows = np.concatenate(
+                [prepared_by_label[record.label][0] for record in group]
+            )
+            merged_scenarios = [
+                scenario
+                for record in group
+                for scenario in prepared_by_label[record.label][3]
+            ]
+            attack_results = attack.attack_batch(merged_windows, merged_scenarios, batched=True)
+            offset = 0
+            for record in group:
+                _, window_indices, target_indices, _ = prepared_by_label[record.label]
+                count = len(window_indices)
+                records_by_label[record.label] = self._records_for(
+                    record,
+                    split,
+                    window_indices,
+                    target_indices,
+                    attack_results[offset : offset + count],
+                )
+                offset += count
+
+        for record in cohort:  # preserve the per-patient record ordering
+            merged.records.extend(records_by_label.get(record.label, []))
         return merged

@@ -27,7 +27,15 @@ from repro.glucose.states import (
 
 
 class Constraint:
-    """Interface for admissibility checks and projections of candidate inputs."""
+    """Interface for admissibility checks and projections of candidate inputs.
+
+    The scalar methods (:meth:`is_satisfied`, :meth:`project`) are the
+    reference implementations.  The batched attack engine calls the vectorized
+    twins (:meth:`satisfied_mask`, :meth:`project_batch`), whose defaults loop
+    the scalar methods; hot-path constraints override them with fused array
+    operations that are pinned to the scalar reference by
+    ``tests/test_property_based.py``.
+    """
 
     def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
         """True when the candidate window is admissible."""
@@ -36,6 +44,30 @@ class Constraint:
     def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
         """Return the closest admissible window to ``window``."""
         raise NotImplementedError
+
+    def satisfied_mask(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        """Admissibility of a stack of candidates against one original window.
+
+        ``windows`` has shape ``(n, history, features)``; returns a boolean
+        array of length ``n`` equal to ``[is_satisfied(w, original) for w in
+        windows]``.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        return np.fromiter(
+            (self.is_satisfied(window, original) for window in windows),
+            dtype=bool,
+            count=len(windows),
+        )
+
+    def project_batch(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        """Project a stack of candidates against one original window.
+
+        Equal to ``np.stack([project(w, original) for w in windows])``.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if len(windows) == 0:
+            return windows.copy()
+        return np.stack([self.project(window, original) for window in windows])
 
 
 @dataclass
@@ -104,6 +136,34 @@ class GlucoseRangeConstraint(Constraint):
         )
         return projected
 
+    # ------------------------------------------------------------- batched twins
+    def satisfied_mask(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        # Vectorized twin of is_satisfied: one fused pass over the whole
+        # candidate stack of a search depth instead of one call per edge.
+        windows = np.asarray(windows, dtype=np.float64)
+        original = np.asarray(original, dtype=np.float64)
+        if windows.shape[1:] != original.shape:
+            raise ValueError("windows and original must have the same window shape")
+        close = np.abs(windows - original) <= self._ATOL + self._RTOL * np.abs(original)
+        close[:, :, self.feature_column] = True
+        cgm = windows[:, :, self.feature_column]
+        modified = np.abs(cgm - original[:, self.feature_column]) > self.tolerance
+        in_range = (cgm >= self.low) & (cgm <= self.high)
+        return close.all(axis=(1, 2)) & np.all(in_range | ~modified, axis=1)
+
+    def project_batch(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        original = np.asarray(original, dtype=np.float64)
+        if windows.shape[1:] != original.shape:
+            raise ValueError("windows and original must have the same window shape")
+        projected = np.broadcast_to(original, windows.shape).copy()
+        cgm = windows[:, :, self.feature_column]
+        modified = np.abs(cgm - original[:, self.feature_column]) > self.tolerance
+        projected[:, :, self.feature_column] = np.where(
+            modified, np.clip(cgm, self.low, self.high), cgm
+        )
+        return projected
+
 
 def constraint_for_scenario(scenario: Scenario) -> GlucoseRangeConstraint:
     """The paper's CGM manipulation constraint for a scenario."""
@@ -129,6 +189,19 @@ class CompositeConstraint(Constraint):
             projected = constraint.project(projected, original)
         return projected
 
+    def satisfied_mask(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        mask = np.ones(len(windows), dtype=bool)
+        for constraint in self.constraints:
+            mask &= constraint.satisfied_mask(windows, original)
+        return mask
+
+    def project_batch(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        projected = np.asarray(windows, dtype=np.float64)
+        for constraint in self.constraints:
+            projected = constraint.project_batch(projected, original)
+        return projected
+
 
 @dataclass
 class MaxModifiedSamplesConstraint(Constraint):
@@ -150,6 +223,15 @@ class MaxModifiedSamplesConstraint(Constraint):
 
     def is_satisfied(self, window: np.ndarray, original: np.ndarray) -> bool:
         return int(self._modified_mask(np.asarray(window), np.asarray(original)).sum()) <= self.max_modified
+
+    def satisfied_mask(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        original = np.asarray(original, dtype=np.float64)
+        modified = (
+            np.abs(windows[:, :, self.feature_column] - original[:, self.feature_column])
+            > self.tolerance
+        )
+        return modified.sum(axis=1) <= self.max_modified
 
     def project(self, window: np.ndarray, original: np.ndarray) -> np.ndarray:
         window = np.array(window, dtype=np.float64, copy=True)

@@ -180,7 +180,9 @@ class EvasionAttack:
         batched inference engine: eligibility screening is ONE model call
         over all windows, and the explorer's lockstep mode advances every
         still-active window together, issuing one large model query per
-        search depth instead of one small query per window.  Set
+        search depth instead of one small query per window.  Every shipped
+        explorer (greedy, beam, random) has a true lockstep mode pinned to
+        its sequential reference by ``tests/test_explorer_parity.py``.  Set
         ``batched=False`` to fall back to the sequential per-window loop
         (identical results, many more model calls).
         """

@@ -17,11 +17,12 @@ full pipeline runs on CPU, and is configurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.detectors.base import AnomalyDetector, ThresholdCalibrator
+from repro.nn import functional as F
 from repro.nn import (
     Adam,
     BatchIterator,
@@ -54,6 +55,116 @@ class SequenceGenerator(Module):
         output = self.head(flat)
         return output.reshape(batch, timesteps, self.n_features)
 
+    def fast_forward(self, latent: np.ndarray) -> np.ndarray:
+        hidden = self.lstm.fast_forward(np.asarray(latent, dtype=np.float64))
+        batch, timesteps, _ = hidden.shape
+        flat = hidden.reshape(batch * timesteps, self.hidden_size)
+        return self.head.fast_forward(flat).reshape(batch, timesteps, self.n_features)
+
+    def inversion_grad(
+        self, latent: np.ndarray, target: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Graph-free forward plus latent-only backward for generator inversion.
+
+        Returns ``(generated, latent_gradient)`` where ``latent_gradient`` is
+        the gradient of ``mean((generated - target) ** 2)`` with respect to
+        ``latent``.  This is a hand-written BPTT through the frozen LSTM and
+        head that mirrors the autodiff graph operation-for-operation (same
+        clipped sigmoid, same gate math, same loss-gradient seeding), so the
+        inversion loop produces the same latent trajectory as optimizing
+        through the graph — without allocating a single ``Tensor`` node or
+        computing any parameter gradient.
+        """
+        cell = self.lstm.cell
+        weight_input = cell.weight_input.data
+        weight_hidden = cell.weight_hidden.data
+        bias = cell.bias.data
+        head_weight = self.head.weight.data
+        head_bias = self.head.bias.data
+
+        latent = np.asarray(latent, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        batch, timesteps, _ = latent.shape
+        size = self.hidden_size
+
+        # ---- forward (fused input projection, saved gate activations) ----
+        projections = (
+            latent.reshape(batch * timesteps, self.latent_dim) @ weight_input
+        ).reshape(batch, timesteps, 4 * size)
+        hidden = np.zeros((batch, size))
+        cell_state = np.zeros((batch, size))
+        hidden_seq = np.empty((batch, timesteps, size))
+        prev_cells = np.empty((batch, timesteps, size))
+        gate_i = np.empty((batch, timesteps, size))
+        gate_f = np.empty((batch, timesteps, size))
+        gate_g = np.empty((batch, timesteps, size))
+        gate_o = np.empty((batch, timesteps, size))
+        tanh_cells = np.empty((batch, timesteps, size))
+        for step in range(timesteps):
+            gates = (projections[:, step, :] + hidden @ weight_hidden) + bias
+            i = F.sigmoid(gates[:, 0:size])
+            f = F.sigmoid(gates[:, size : 2 * size])
+            g = np.tanh(gates[:, 2 * size : 3 * size])
+            o = F.sigmoid(gates[:, 3 * size : 4 * size])
+            prev_cells[:, step, :] = cell_state
+            cell_state = f * cell_state + i * g
+            tanh_c = np.tanh(cell_state)
+            hidden = o * tanh_c
+            gate_i[:, step, :] = i
+            gate_f[:, step, :] = f
+            gate_g[:, step, :] = g
+            gate_o[:, step, :] = o
+            tanh_cells[:, step, :] = tanh_c
+            hidden_seq[:, step, :] = hidden
+
+        flat = hidden_seq.reshape(batch * timesteps, size)
+        generated = (flat @ head_weight + head_bias).reshape(
+            batch, timesteps, self.n_features
+        )
+
+        # ---- backward, latent path only ----
+        residual = generated - target
+        # Seeded exactly as the autodiff `(r * r).mean()` backward: r/count
+        # accumulated twice (doubling is exact in floating point).
+        d_generated = residual * (1.0 / residual.size)
+        d_generated = d_generated + d_generated
+        d_hidden_seq = (
+            d_generated.reshape(batch * timesteps, self.n_features) @ head_weight.T
+        ).reshape(batch, timesteps, size)
+
+        d_hidden = np.zeros((batch, size))
+        d_cell = np.zeros((batch, size))
+        d_projections = np.empty_like(projections)
+        for step in range(timesteps - 1, -1, -1):
+            i = gate_i[:, step, :]
+            f = gate_f[:, step, :]
+            g = gate_g[:, step, :]
+            o = gate_o[:, step, :]
+            tanh_c = tanh_cells[:, step, :]
+            dh = d_hidden_seq[:, step, :] + d_hidden
+            d_output = dh * tanh_c
+            dc = d_cell + dh * o * (1.0 - tanh_c**2)
+            d_input = dc * g
+            d_forget = dc * prev_cells[:, step, :]
+            d_candidate = dc * i
+            d_cell = dc * f
+            d_gates = np.concatenate(
+                [
+                    d_input * i * (1.0 - i),
+                    d_forget * f * (1.0 - f),
+                    d_candidate * (1.0 - g**2),
+                    d_output * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            d_hidden = d_gates @ weight_hidden.T
+            d_projections[:, step, :] = d_gates
+
+        d_latent = (
+            d_projections.reshape(batch * timesteps, 4 * size) @ weight_input.T
+        ).reshape(latent.shape)
+        return generated, d_latent
+
 
 class SequenceDiscriminator(Module):
     """LSTM discriminator: window ``(B, T, F)`` → real/fake logit ``(B, 1)``."""
@@ -65,6 +176,11 @@ class SequenceDiscriminator(Module):
 
     def forward(self, windows) -> Tensor:
         return self.head(self.lstm(windows))
+
+    def fast_forward(self, windows: np.ndarray) -> np.ndarray:
+        return self.head.fast_forward(
+            self.lstm.fast_forward(np.asarray(windows, dtype=np.float64))
+        )
 
 
 @dataclass
@@ -92,6 +208,14 @@ class MADGANDetector(AnomalyDetector):
         λ in ``DR = λ · reconstruction + (1 − λ) · discrimination``.
     quantile:
         Benign-score quantile used to calibrate the decision threshold.
+    use_fast_path:
+        When True (the default) scoring runs the inference fast paths: the
+        generator inversion keeps gradients only for the latent (the
+        generator's parameters are frozen during the loop, skipping every
+        weight-gradient computation), and the final reconstruction and the
+        discriminator probabilities are computed graph-free.  Set False to
+        route every scoring query through the full autodiff graph; the two
+        paths agree within 1e-8 (see ``tests/test_detectors.py``).
     seed:
         Seed for weights, latent sampling, and batching.
     """
@@ -112,10 +236,12 @@ class MADGANDetector(AnomalyDetector):
         reconstruction_weight: float = 0.7,
         quantile: float = 0.95,
         max_samples: int = 3000,
+        use_fast_path: bool = True,
         seed=0,
     ):
         if not 0.0 <= reconstruction_weight <= 1.0:
             raise ValueError("reconstruction_weight must be in [0, 1]")
+        self.use_fast_path = bool(use_fast_path)
         self.sequence_length = int(sequence_length)
         self.n_features = int(n_features)
         self.latent_dim = int(latent_dim)
@@ -206,15 +332,21 @@ class MADGANDetector(AnomalyDetector):
                 discriminator_optimizer.clip_gradients(5.0)
                 discriminator_optimizer.step()
 
-                # -- generator step
+                # -- generator step: the discriminator is frozen, so backward
+                # skips its weight-gradient computations entirely (the same
+                # gradients the old per-step discriminator.zero_grad() threw
+                # away); the generator gradient is unchanged.
                 generator_optimizer.zero_grad()
-                self.discriminator.zero_grad()
-                generated = self.generator(Tensor(latent))
-                generated_logits = self.discriminator(generated)
-                generator_loss = binary_cross_entropy_with_logits(
-                    generated_logits, Tensor(np.ones((batch_size, 1)))
-                )
-                generator_loss.backward()
+                self.discriminator.requires_grad_(False)
+                try:
+                    generated = self.generator(Tensor(latent))
+                    generated_logits = self.discriminator(generated)
+                    generator_loss = binary_cross_entropy_with_logits(
+                        generated_logits, Tensor(np.ones((batch_size, 1)))
+                    )
+                    generator_loss.backward()
+                finally:
+                    self.discriminator.requires_grad_(True)
                 generator_optimizer.clip_gradients(5.0)
                 generator_optimizer.step()
 
@@ -231,26 +363,54 @@ class MADGANDetector(AnomalyDetector):
         return self
 
     # ------------------------------------------------------------------ scoring
-    def _reconstruction_errors(self, scaled_windows: np.ndarray) -> np.ndarray:
-        """Best-effort generator inversion: optimize latent sequences by gradient."""
+    def _reconstruction_errors(
+        self,
+        scaled_windows: np.ndarray,
+        fast_path: Optional[bool] = None,
+        initial_latent: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Best-effort generator inversion: optimize latent sequences by gradient.
+
+        With ``fast_path`` (defaulting to :attr:`use_fast_path`), every
+        optimization step runs :meth:`SequenceGenerator.inversion_grad` — a
+        graph-free forward plus a hand-written BPTT that computes gradients
+        *only for the latent*.  No autodiff nodes are allocated and no
+        parameter gradients are computed; the latent trajectory mirrors the
+        graph path operation-for-operation, so the two paths agree within
+        1e-8 (``tests/test_detectors.py`` pins this).
+
+        ``initial_latent`` overrides the random latent initialization; when
+        omitted, one latent sample is drawn from the detector's persistent RNG
+        (so back-to-back calls start from different latents).
+        """
+        fast = self.use_fast_path if fast_path is None else bool(fast_path)
         count = len(scaled_windows)
-        latent = Parameter(self._sample_latent(count) * 0.1, name="latent")
+        if initial_latent is None:
+            initial_latent = self._sample_latent(count) * 0.1
+        latent = Parameter(np.array(initial_latent, dtype=np.float64, copy=True), name="latent")
         optimizer = Adam([latent], learning_rate=self.inversion_learning_rate)
-        target = Tensor(scaled_windows)
-        for _ in range(self.inversion_steps):
-            optimizer.zero_grad()
-            self.generator.zero_grad()
-            generated = self.generator(latent)
-            residual = generated - target
-            loss = (residual * residual).mean()
-            loss.backward()
-            optimizer.step()
-            # Constrain the search to the typical set of the latent prior: an
-            # unbounded latent lets the generator chase arbitrary (including
-            # adversarial) targets, which would destroy the reconstruction
-            # signal of the DR score.
-            latent.data = np.clip(latent.data, -2.5, 2.5)
-        generated = self.generator(latent).numpy()
+        # Constraining the latent to the typical set of its prior is part of
+        # both loops: an unbounded latent lets the generator chase arbitrary
+        # (including adversarial) targets, which would destroy the
+        # reconstruction signal of the DR score.
+        if fast:
+            for _ in range(self.inversion_steps):
+                _, latent.grad = self.generator.inversion_grad(latent.data, scaled_windows)
+                optimizer.step()
+                latent.data = np.clip(latent.data, -2.5, 2.5)
+            generated = self.generator.fast_forward(latent.data)
+        else:
+            target = Tensor(scaled_windows)
+            for _ in range(self.inversion_steps):
+                optimizer.zero_grad()
+                self.generator.zero_grad()
+                generated = self.generator(latent)
+                residual = generated - target
+                loss = (residual * residual).mean()
+                loss.backward()
+                optimizer.step()
+                latent.data = np.clip(latent.data, -2.5, 2.5)
+            generated = self.generator(latent).numpy()
         per_timestep = np.mean((generated - scaled_windows) ** 2, axis=2)
         # A manipulation typically touches only the trailing samples of a
         # window; the max over timesteps keeps a localized discrepancy from
@@ -259,7 +419,10 @@ class MADGANDetector(AnomalyDetector):
 
     def _discrimination_scores(self, scaled_windows: np.ndarray) -> np.ndarray:
         """Probability that each window is fake according to the discriminator."""
-        logits = self.discriminator(Tensor(scaled_windows)).numpy().reshape(-1)
+        if self.use_fast_path:
+            logits = self.discriminator.predict(scaled_windows).reshape(-1)
+        else:
+            logits = self.discriminator(Tensor(scaled_windows)).numpy().reshape(-1)
         return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
 
     def _dr_scores(self, scaled_windows: np.ndarray, reconstruction: Optional[np.ndarray] = None) -> np.ndarray:

@@ -162,6 +162,22 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    def requires_grad_(self, flag: bool) -> "Module":
+        """Enable or disable gradient tracking for every parameter.
+
+        With tracking off, forward passes still build the graph along any
+        differentiable *inputs* (e.g. an optimized latent), but backward skips
+        every parameter-gradient computation — the weight-gradient matrix
+        multiplications, bias reductions, and gradient buffers.  Use this to
+        differentiate through a frozen network — e.g. the MAD-GAN generator
+        step freezes the discriminator while backpropagating through it.
+        Restore with ``requires_grad_(True)`` before training the frozen
+        module; optimizers expect it on.
+        """
+        for parameter in self.parameters():
+            parameter.requires_grad = bool(flag)
+        return self
+
     def train(self) -> "Module":
         """Put the module (and children) into training mode."""
         self.training = True

@@ -111,8 +111,9 @@ class TestLockstepEquivalence:
     def test_greedy_lockstep_reproduces_per_window_results(self):
         self._compare(lambda: GreedyExplorer(max_depth=3))
 
-    def test_default_search_batch_loops_per_window(self):
-        # RandomExplorer has no lockstep override; search_batch must still work.
+    def test_random_lockstep_reproduces_per_window_results(self):
+        # The lockstep walk rounds must consume the persistent RNG exactly
+        # like sequential per-window search calls (one child seed per window).
         self._compare(lambda: RandomExplorer(max_depth=2, n_walks=5, seed=3))
 
     def test_lockstep_with_real_predictor(self, tiny_zoo, tiny_cohort):
@@ -200,6 +201,117 @@ class TestRandomExplorerRNG:
         explorer = RandomExplorer(max_depth=2, n_walks=2, seed=shared)
         result = self._run_search(explorer)
         assert result.queries > 0
+
+
+class TestRandomExplorerSeedDeterminism:
+    """Batched campaigns with a random explorer replay exactly from a seed."""
+
+    LEVELS = (95.0, 120.0, 240.0, 150.0, 105.0)
+
+    def _run(self, batched: bool):
+        windows = np.stack([benign_window(level) for level in self.LEVELS])
+        scenarios = [Scenario.POSTPRANDIAL] * len(self.LEVELS)
+        attack = EvasionAttack(
+            CountingPredictor(), explorer=RandomExplorer(max_depth=2, n_walks=4, seed=17)
+        )
+        return attack.attack_batch(windows, scenarios, batched=batched)
+
+    def test_same_seed_reproduces_batched_campaign(self):
+        first = self._run(batched=True)
+        second = self._run(batched=True)
+        for left, right in zip(first, second):
+            assert_results_equal(left, right)
+
+    def test_batched_replays_sequential_for_fixed_seed(self):
+        batched = self._run(batched=True)
+        sequential = self._run(batched=False)
+        for left, right in zip(batched, sequential):
+            assert_results_equal(left, right)
+
+
+class TestCohortBatchedCampaign:
+    """Cross-patient batching: one lockstep search per shared model."""
+
+    @pytest.fixture(scope="class")
+    def aggregate_zoo(self, tiny_cohort):
+        from repro.glucose import GlucoseModelZoo
+
+        zoo = GlucoseModelZoo(
+            predictor_kwargs=dict(epochs=1, hidden_size=8),
+            train_personalized=False,  # every patient shares the aggregate model
+            seed=5,
+        )
+        zoo.fit(tiny_cohort)
+        return zoo
+
+    def _assert_campaigns_equal(self, left, right):
+        assert len(left.records) == len(right.records) > 0
+        for a, b in zip(left.records, right.records):
+            assert a.patient_label == b.patient_label
+            assert a.split == b.split
+            assert a.window_index == b.window_index
+            assert a.target_index == b.target_index
+            assert a.result.eligible == b.result.eligible
+            assert a.result.success == b.result.success
+            assert a.result.path == b.result.path
+            assert a.result.queries == b.result.queries
+            np.testing.assert_array_equal(
+                a.result.adversarial_window, b.result.adversarial_window
+            )
+
+    def test_cohort_batched_matches_per_patient(self, aggregate_zoo, tiny_cohort):
+        merged = AttackCampaign(aggregate_zoo, stride=12, cohort_batched=True).run_cohort(
+            tiny_cohort, "test"
+        )
+        per_patient = AttackCampaign(
+            aggregate_zoo, stride=12, cohort_batched=False
+        ).run_cohort(tiny_cohort, "test")
+        self._assert_campaigns_equal(merged, per_patient)
+
+    def test_cohort_batched_preserves_attribution_with_personalized_models(
+        self, tiny_zoo, tiny_cohort
+    ):
+        # Personalized zoo: every model group is a single patient, so the
+        # merged path must degrade to exactly the per-patient records.
+        merged = AttackCampaign(tiny_zoo, stride=12, cohort_batched=True).run_cohort(
+            tiny_cohort, "test"
+        )
+        per_patient = AttackCampaign(tiny_zoo, stride=12, cohort_batched=False).run_cohort(
+            tiny_cohort, "test"
+        )
+        self._assert_campaigns_equal(merged, per_patient)
+        assert merged.patient_labels == [record.label for record in tiny_cohort]
+
+    def test_cohort_batched_issues_fewer_model_calls(self, aggregate_zoo, tiny_cohort):
+        calls = []
+        predictor = aggregate_zoo.aggregate
+        original_predict = predictor.predict
+
+        def counting_predict(windows):
+            calls.append(len(windows))
+            return original_predict(windows)
+
+        predictor.predict = counting_predict
+        try:
+            AttackCampaign(aggregate_zoo, stride=12, cohort_batched=True).run_cohort(
+                tiny_cohort, "test"
+            )
+            merged_calls = len(calls)
+            calls.clear()
+            AttackCampaign(aggregate_zoo, stride=12, cohort_batched=False).run_cohort(
+                tiny_cohort, "test"
+            )
+            per_patient_calls = len(calls)
+        finally:
+            predictor.predict = original_predict
+        assert merged_calls < per_patient_calls
+
+    def test_sequential_campaign_ignores_cohort_batching(self, tiny_zoo, tiny_cohort):
+        campaign = AttackCampaign(tiny_zoo, stride=12, batched=False, cohort_batched=True)
+        assert campaign.cohort_batched  # explicit flag kept, but batched=False wins
+        record = next(iter(tiny_cohort))
+        result = campaign.run_cohort(tiny_cohort.select([record.label]), "test")
+        assert len(result.records) > 0
 
 
 class TestBatchedCampaign:

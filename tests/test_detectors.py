@@ -216,6 +216,78 @@ class TestMADGAN:
             MADGANDetector(reconstruction_weight=1.5)
 
 
+class TestMADGANFastPathRegression:
+    """The graph-free inversion/scoring fast paths are pinned to the autodiff
+    reference: reconstruction errors within 1e-8, detection decisions
+    unchanged."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        windows, labels = make_toy_windows(n_benign=90, n_malicious=0, seed=3)
+        detector = MADGANDetector(epochs=3, hidden_size=10, inversion_steps=20, seed=0)
+        detector.fit(windows[labels == 0])
+        return detector
+
+    def test_reconstruction_errors_match_graph_path(self, fitted):
+        windows, _ = make_toy_windows(n_benign=12, n_malicious=8, seed=21)
+        scaled = fitted._scale(windows)
+        latent = fitted._sample_latent(len(scaled)) * 0.1
+        fast = fitted._reconstruction_errors(scaled, fast_path=True, initial_latent=latent)
+        graph = fitted._reconstruction_errors(scaled, fast_path=False, initial_latent=latent)
+        np.testing.assert_allclose(fast, graph, atol=1e-8, rtol=0.0)
+
+    def test_discrimination_scores_match_graph_path(self, fitted):
+        windows, _ = make_toy_windows(n_benign=10, n_malicious=5, seed=22)
+        scaled = fitted._scale(windows)
+        fast = fitted._discrimination_scores(scaled)
+        fitted.use_fast_path = False
+        try:
+            graph = fitted._discrimination_scores(scaled)
+        finally:
+            fitted.use_fast_path = True
+        np.testing.assert_allclose(fast, graph, atol=1e-10, rtol=0.0)
+
+    def test_detection_decisions_unchanged(self, fitted):
+        # Same fitted detector, same latent initialization: routing the DR
+        # score through the fast path must not flip a single decision on the
+        # seed fixture windows.
+        windows, _ = make_toy_windows(n_benign=20, n_malicious=12, seed=33)
+        scaled = fitted._scale(windows)
+        latent = fitted._sample_latent(len(scaled)) * 0.1
+
+        def decisions(fast_path: bool) -> np.ndarray:
+            reconstruction = fitted._reconstruction_errors(
+                scaled, fast_path=fast_path, initial_latent=latent
+            )
+            fitted.use_fast_path = fast_path
+            try:
+                scores = fitted._dr_scores(scaled, reconstruction)
+            finally:
+                fitted.use_fast_path = True
+            return fitted.calibrator.predict(scores)
+
+        np.testing.assert_array_equal(decisions(True), decisions(False))
+
+    def test_inversion_grad_matches_autodiff(self, fitted):
+        from repro.nn import Parameter, Tensor
+
+        windows, _ = make_toy_windows(n_benign=6, n_malicious=0, seed=44)
+        scaled = fitted._scale(windows)
+        latent_values = fitted._sample_latent(len(scaled)) * 0.1
+
+        generated_fast, grad_fast = fitted.generator.inversion_grad(latent_values, scaled)
+
+        latent = Parameter(latent_values.copy(), name="latent")
+        fitted.generator.zero_grad()
+        generated = fitted.generator(latent)
+        residual = generated - Tensor(scaled)
+        (residual * residual).mean().backward()
+
+        np.testing.assert_allclose(generated_fast, generated.numpy(), atol=1e-10, rtol=0.0)
+        np.testing.assert_allclose(grad_fast, latent.grad, atol=1e-12, rtol=0.0)
+        fitted.generator.zero_grad()
+
+
 class TestEnsemble:
     def test_majority_vote(self, toy_detection_data):
         windows, labels = toy_detection_data

@@ -101,6 +101,18 @@ class TestSequentialAndModule:
         layer.zero_grad()
         assert layer.weight.grad is None
 
+    def test_requires_grad_toggle_freezes_parameters(self):
+        model = Sequential(Dense(2, 3, seed=0), Dense(3, 1, seed=1))
+        model.requires_grad_(False)
+        inputs = Tensor(np.ones((2, 2)), requires_grad=True)
+        model(inputs).sum().backward()
+        # Frozen parameters accumulate nothing; differentiable inputs still do.
+        assert all(parameter.grad is None for parameter in model.parameters())
+        assert inputs.grad is not None
+        model.requires_grad_(True)
+        model(Tensor(np.ones((2, 2)))).sum().backward()
+        assert all(parameter.grad is not None for parameter in model.parameters())
+
 
 class TestDropout:
     def test_eval_mode_is_identity(self):

@@ -4,6 +4,11 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.attacks import (
+    GlucoseRangeConstraint,
+    MaxModifiedSamplesConstraint,
+    default_transformers,
+)
 from repro.detectors.knn import minkowski_distances
 from repro.eval.metrics import confusion_matrix
 from repro.glucose.states import (
@@ -60,6 +65,73 @@ class TestWindowingProperties:
         assert len(resampled) == target_length
         assert resampled.min() >= min(values) - 1e-9
         assert resampled.max() <= max(values) + 1e-9
+
+
+feature_windows = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 4), st.just(12), st.just(4)),
+    elements=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+)
+
+
+class TestTransformerBatchProperties:
+    """candidates_batch must be an exact stacked twin of per-window candidates."""
+
+    @given(feature_windows)
+    @settings(max_examples=25, deadline=None)
+    def test_candidates_batch_matches_per_window(self, windows):
+        for transformer in default_transformers():
+            stacked, descriptions = transformer.candidates_batch(windows)
+            assert stacked.shape[0] == len(windows)
+            for index, window in enumerate(windows):
+                edges = transformer.candidates(window)
+                assert [edge.description for edge in edges] == descriptions
+                np.testing.assert_array_equal(
+                    stacked[index], np.stack([edge.window for edge in edges])
+                )
+
+    @given(st.integers(2, 24))
+    @settings(max_examples=15, deadline=None)
+    def test_candidates_batch_handles_short_histories(self, history):
+        # Suffix lengths are clamped to the window history in both paths.
+        windows = np.full((2, history, 4), 120.0)
+        for transformer in default_transformers():
+            stacked, descriptions = transformer.candidates_batch(windows)
+            edges = transformer.candidates(windows[0])
+            assert [edge.description for edge in edges] == descriptions
+            np.testing.assert_array_equal(
+                stacked[0], np.stack([edge.window for edge in edges])
+            )
+
+
+class TestConstraintBatchProperties:
+    """Vectorized constraint checks must agree with the scalar reference."""
+
+    @given(feature_windows, st.sampled_from([125.0, 180.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_glucose_range_vectorized_matches_scalar(self, candidates, low):
+        constraint = GlucoseRangeConstraint(low=low)
+        original = candidates[0]
+        projected = constraint.project_batch(candidates, original)
+        mask = constraint.satisfied_mask(candidates, original)
+        projected_mask = constraint.satisfied_mask(projected, original)
+        for index, candidate in enumerate(candidates):
+            np.testing.assert_array_equal(
+                projected[index], constraint.project(candidate, original)
+            )
+            assert bool(mask[index]) == constraint.is_satisfied(candidate, original)
+            assert bool(projected_mask[index]) == constraint.is_satisfied(
+                projected[index], original
+            )
+
+    @given(feature_windows, st.integers(0, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_max_modified_mask_matches_scalar(self, candidates, max_modified):
+        constraint = MaxModifiedSamplesConstraint(max_modified=max_modified)
+        original = candidates[-1]
+        mask = constraint.satisfied_mask(candidates, original)
+        for index, candidate in enumerate(candidates):
+            assert bool(mask[index]) == constraint.is_satisfied(candidate, original)
 
 
 class TestTensorProperties:
