@@ -1,0 +1,225 @@
+"""Serving throughput benchmark: streamed incremental inference vs naive re-predict.
+
+Simulates a fleet of concurrent CGM streams (1, 64, and 1024 sessions, all
+served by the shared aggregate forecaster) and times two serving strategies
+over the same tick sequence:
+
+* ``baseline`` — the naive server loop the repo's offline evaluation implies:
+  each session keeps its own window buffer and every tick issues one
+  ``predictor.predict(window[None])`` per session — full window re-scaling,
+  re-projection, and recurrence recompute, one session at a time.
+* ``streamed`` — the :mod:`repro.serving` subsystem: per-sample scaling and
+  input projection cached in ring buffers (O(1) incremental work per tick),
+  and ONE stacked model step per tick for every session sharing the model via
+  :class:`StreamScheduler`.
+
+Both strategies see identical samples; their predictions are compared tick by
+tick and must agree within 1e-10 (the streamed path's regression guarantee
+against the offline fast path).  A short attacked replay additionally checks
+that streaming detector verdicts equal the offline ``predict`` on the same
+delivered measurements.
+
+Writes ``BENCH_serving.json`` next to the repo root.  Usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py [--output PATH] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import SyntheticOhioT1DM, make_patient_profile
+from repro.glucose import GlucoseModelZoo
+from repro.serving import StreamScheduler
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+BENCH_PATIENTS = [("A", 5), ("A", 0), ("A", 2)]
+BENCH_SEED = 13
+ZOO_KWARGS = dict(
+    predictor_kwargs=dict(epochs=2, hidden_size=16), train_personalized=False, seed=5
+)
+
+#: Measured ticks per session count (after a ``history``-tick warm-up).
+SESSION_CONFIGS = {1: 120, 64: 60, 1024: 20}
+
+TARGET_SPEEDUP_AT_64 = 5.0
+TOLERANCE = 1e-10
+
+
+def build_fixture():
+    profiles = [make_patient_profile(subset, pid) for subset, pid in BENCH_PATIENTS]
+    cohort = SyntheticOhioT1DM(
+        train_days=2, test_days=1, seed=BENCH_SEED, profiles=profiles
+    ).generate()
+    zoo = GlucoseModelZoo(**ZOO_KWARGS)
+    zoo.fit(cohort)
+    return cohort, zoo
+
+
+def session_traces(cohort, n_sessions: int, n_ticks: int):
+    """One raw trace per session, cycling the cohort's test traces."""
+    base = [record.features("test") for record in cohort]
+    for trace in base:
+        if len(trace) < n_ticks:
+            raise RuntimeError("test traces are shorter than the benchmark needs")
+    return [base[index % len(base)] for index in range(n_sessions)]
+
+
+def run_baseline(predictor, traces, warmup: int, ticks: int):
+    """Naive per-session re-predict loop; returns (seconds, predictions)."""
+    history = predictor.history
+    rings = [[] for _ in traces]
+    for tick in range(warmup):
+        for ring, trace in zip(rings, traces):
+            ring.append(trace[tick])
+            del ring[:-history]
+    predictions = np.full((ticks, len(traces)), np.nan)
+    start = time.perf_counter()
+    for tick in range(ticks):
+        for index, (ring, trace) in enumerate(zip(rings, traces)):
+            ring.append(trace[warmup + tick])
+            del ring[:-history]
+            if len(ring) == history:
+                predictions[tick, index] = predictor.predict(np.asarray(ring)[np.newaxis])[0]
+    return time.perf_counter() - start, predictions
+
+
+def run_streamed(predictor, traces, warmup: int, ticks: int):
+    """Scheduler-coalesced incremental serving; returns (seconds, predictions)."""
+    scheduler = StreamScheduler()
+    ids = [f"s{index}" for index in range(len(traces))]
+    for session_id in ids:
+        scheduler.open_session(session_id, predictor, session_id=session_id)
+    for tick in range(warmup):
+        scheduler.tick(
+            {session_id: trace[tick] for session_id, trace in zip(ids, traces)}
+        )
+    predictions = np.full((ticks, len(traces)), np.nan)
+    start = time.perf_counter()
+    for tick in range(ticks):
+        outcomes = scheduler.tick(
+            {session_id: trace[warmup + tick] for session_id, trace in zip(ids, traces)}
+        )
+        for index, session_id in enumerate(ids):
+            value = outcomes[session_id].prediction
+            predictions[tick, index] = np.nan if value is None else value
+    return time.perf_counter() - start, predictions
+
+
+def bench_session_count(zoo, cohort, n_sessions: int, ticks: int, repeats: int):
+    predictor = zoo.aggregate
+    warmup = predictor.history
+    traces = session_traces(cohort, n_sessions, warmup + ticks)
+
+    baseline_best = float("inf")
+    streamed_best = float("inf")
+    baseline_preds = streamed_preds = None
+    for _ in range(repeats):
+        seconds, baseline_preds = run_baseline(predictor, traces, warmup, ticks)
+        baseline_best = min(baseline_best, seconds)
+        seconds, streamed_preds = run_streamed(predictor, traces, warmup, ticks)
+        streamed_best = min(streamed_best, seconds)
+
+    gap = float(np.abs(baseline_preds - streamed_preds).max())
+    return {
+        "ticks": ticks,
+        "baseline_seconds": baseline_best,
+        "stream_seconds": streamed_best,
+        "baseline_ticks_per_sec": ticks / baseline_best,
+        "stream_ticks_per_sec": ticks / streamed_best,
+        "baseline_tick_latency_ms": baseline_best / ticks * 1e3,
+        "stream_tick_latency_ms": streamed_best / ticks * 1e3,
+        "session_ticks_per_sec": n_sessions * ticks / streamed_best,
+        "speedup": baseline_best / streamed_best,
+        "max_prediction_gap": gap,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_serving.json",
+        help="where to write the benchmark report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed repetitions per configuration; the best run is reported",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    print("building fixture (cohort + trained aggregate forecaster)...")
+    cohort, zoo = build_fixture()
+
+    sessions_report = {}
+    worst_gap = 0.0
+    for n_sessions, ticks in SESSION_CONFIGS.items():
+        print(f"timing {n_sessions} concurrent session(s) x {ticks} ticks...")
+        entry = bench_session_count(zoo, cohort, n_sessions, ticks, args.repeats)
+        sessions_report[str(n_sessions)] = entry
+        worst_gap = max(worst_gap, entry["max_prediction_gap"])
+        print(
+            f"  baseline {entry['baseline_tick_latency_ms']:.2f} ms/tick, "
+            f"streamed {entry['stream_tick_latency_ms']:.2f} ms/tick "
+            f"({entry['speedup']:.1f}x, gap {entry['max_prediction_gap']:.2e})"
+        )
+
+    print("checking streaming detector verdict parity (attacked replay)...")
+    from check_parity import run_serving_smoke
+
+    smoke = run_serving_smoke(zoo, cohort)
+    print(
+        f"  verdicts identical to offline predict; stream gap "
+        f"{smoke['max_stream_gap']:.2e} over {smoke['tampered_ticks']} tampered ticks"
+    )
+
+    speedup_at_64 = sessions_report["64"]["speedup"]
+    report = {
+        "benchmark": "serving_stream",
+        "config": {
+            "patients": ["_".join(map(str, p)) for p in BENCH_PATIENTS],
+            "cohort_seed": BENCH_SEED,
+            "repeats": args.repeats,
+            "shared_model": "aggregate",
+            "warmup_ticks": zoo.aggregate.history,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "sessions": sessions_report,
+        "speedup_at_64": speedup_at_64,
+        "target_speedup_at_64": TARGET_SPEEDUP_AT_64,
+        "meets_target": bool(speedup_at_64 >= TARGET_SPEEDUP_AT_64),
+        "equivalence": {
+            "max_prediction_gap": worst_gap,
+            "tolerance": TOLERANCE,
+            "within_tolerance": bool(worst_gap <= TOLERANCE),
+            "verdict_parity": True,  # run_serving_smoke asserts it above
+            "smoke": smoke,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nspeedup at 64 sessions: {speedup_at_64:.1f}x "
+        f"(target >= {TARGET_SPEEDUP_AT_64:g}x) -> {args.output}"
+    )
+    if not report["equivalence"]["within_tolerance"]:
+        raise SystemExit("streamed predictions diverged from the baseline beyond 1e-10")
+    if not report["meets_target"]:
+        raise SystemExit("serving speedup target not met")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,18 @@
-"""Fast parity smoke check for the batched attack engine.
+"""Fast parity smoke check for the batched attack engine and the serving path.
 
 Asserts, on a tiny cohort, that every explorer's lockstep ``search_batch``
 reproduces the sequential per-window reference exactly (same eligibility,
-success, paths, query counts, and adversarial windows) and that the inference
-fast path stays within its 1e-10 regression tolerance.  This is the cheap
-tripwire between "every PR runs the full benchmark" and "parity silently
-regresses": it is wired into the tier-1 suite (``tests/test_explorer_parity.py``
-imports :func:`run_checks`) and can be run standalone::
+success, paths, query counts, and adversarial windows), that the inference
+fast path stays within its 1e-10 regression tolerance, and — via
+:func:`run_serving_smoke` — that the streaming serving subsystem (scheduler +
+incremental recurrent state + online attacker + streaming detectors) matches
+the offline fast path on a live replay: per-tick predictions within 1e-10 of
+``predict`` on the delivered windows and detector verdicts identical to the
+offline ``predict``.  This is the cheap tripwire between "every PR runs the
+full benchmark" and "parity silently regresses": it is wired into the tier-1
+suite (``tests/test_explorer_parity.py`` imports :func:`run_checks`,
+``tests/test_serving.py`` imports :func:`run_serving_smoke`) and can be run
+standalone::
 
     PYTHONPATH=src python scripts/check_parity.py
 
@@ -108,6 +114,68 @@ def run_checks(
     return report
 
 
+def run_serving_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 50) -> Dict[str, float]:
+    """Streaming-serving parity on a short live replay (tier-1 smoke).
+
+    Replays ``n_ticks`` of every patient's test trace through the
+    :class:`~repro.serving.StreamScheduler` with an :class:`OnlineAttacker`
+    tampering one stream mid-replay and a kNN-distance detector monitoring
+    every stream, then asserts
+
+    * streamed per-tick predictions match the offline fast path (``predict``
+      on the delivered sliding windows) within 1e-10, and
+    * streaming detector verdicts are identical to the offline ``predict`` on
+      the same delivered measurements.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    from repro.detectors import KNNDistanceDetector
+    from repro.serving import AttackEpisode, OnlineAttacker, StreamReplayer
+
+    records = list(cohort)
+    train_windows, _, _ = zoo.dataset.from_cohort(cohort, split="train")
+    detector = KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :])
+    attacked_label = records[0].label
+    attacker = OnlineAttacker(
+        {attacked_label: [AttackEpisode(start=n_ticks // 2, duration=max(n_ticks // 5, 3))]}
+    )
+    replayer = StreamReplayer(
+        zoo, detectors={"knn": (detector, "sample")}, attacker=attacker
+    )
+    report = replayer.replay(cohort, split="test", max_ticks=n_ticks)
+
+    worst_gap = 0.0
+    tampered_ticks = 0
+    for record in records:
+        trace = report.sessions[record.label]
+        predictor = zoo.model_for(record.label)
+        delivered = np.stack([tick.sample for tick in trace.ticks])
+        windows, _, _ = zoo.dataset.windows_from_features(delivered)
+        assert len(windows) > 0, "replay too short to form a prediction window"
+        offline = predictor.predict(windows)
+        history = predictor.history
+        streamed = trace.predictions()[history - 1 : history - 1 + len(windows)]
+        gap = float(np.abs(streamed - offline).max())
+        worst_gap = max(worst_gap, gap)
+        assert gap <= PREDICTION_TOLERANCE, (
+            f"streamed predictions diverged from the offline fast path for "
+            f"{record.label}: {gap:.3e}"
+        )
+        offline_flags = [bool(flag) for flag in detector.predict(delivered[:, np.newaxis, :])]
+        stream_flags = [bool(tick.verdicts["knn"].flagged) for tick in trace.ticks]
+        assert stream_flags == offline_flags, (
+            f"streaming detector verdicts diverged from offline predict for {record.label}"
+        )
+        tampered_ticks += len(trace.attacked_ticks)
+    assert tampered_ticks > 0, "the online attacker never tampered a sample"
+    return {
+        "max_stream_gap": worst_gap,
+        "n_sessions": len(records),
+        "n_ticks": n_ticks,
+        "tampered_ticks": tampered_ticks,
+    }
+
+
 def main() -> int:
     print("building tiny fixture...")
     cohort, zoo = build_fixture()
@@ -122,6 +190,16 @@ def main() -> int:
         per_seed = report[name]
         queries = sorted(stats["total_queries"] for stats in per_seed.values())
         print(f"  {name}: parity ok across seeds (query totals {queries})")
+    print("running serving smoke (streamed replay + online attack, 50 ticks)...")
+    try:
+        serving = run_serving_smoke(zoo, cohort)
+    except AssertionError as error:
+        print(f"SERVING PARITY VIOLATION: {error}")
+        return 1
+    print(
+        f"  max |stream - offline| prediction gap: {serving['max_stream_gap']:.3e} "
+        f"({serving['n_sessions']} sessions, {serving['tampered_ticks']} tampered ticks)"
+    )
     print("all parity checks passed")
     return 0
 

@@ -22,6 +22,11 @@ Subpackages
 ``repro.eval``
     Metrics, experiment harness, and report generation for every paper
     table/figure.
+``repro.serving``
+    Streaming online-inference subsystem: per-patient sessions with
+    incremental recurrent state, a scheduler batching every session sharing a
+    model into one step per tick, a mid-stream URET attacker, and live
+    attack/detection replay.
 """
 
 __version__ = "1.0.0"

@@ -210,7 +210,10 @@ class AttackCampaign:
         When True, :meth:`run_cohort` merges the eligible windows of every
         patient *sharing a target model* (e.g. the aggregate-model campaign)
         into one lockstep search, so a whole cohort advances together with
-        one model query per search depth.  Per-patient
+        one model query per search depth.  Sharing is decided by
+        :meth:`GlucosePredictor.state_hash` — weights plus scaler, not object
+        identity — so separately loaded copies of one checkpoint also merge.
+        Per-patient
         :class:`WindowAttackRecord` attribution and record ordering are
         preserved.  Defaults to ``batched``; with deterministic explorers
         (greedy, beam) the records are identical to per-patient runs, while
@@ -299,14 +302,22 @@ class AttackCampaign:
             return merged
 
         prepared_by_label: Dict[str, tuple] = {}
-        groups: Dict[int, List[PatientRecord]] = {}
-        predictors: Dict[int, object] = {}
+        groups: Dict[str, List[PatientRecord]] = {}
+        predictors: Dict[str, object] = {}
+        # state_hash digests every weight tensor; hash each distinct object
+        # once per run (the zoo keeps predictors alive, so ids are stable).
+        hash_by_id: Dict[int, str] = {}
         for record in cohort:
             prepared = self._prepare_patient(record, split)
             if prepared is None:
                 continue
             predictor = self.zoo.model_for(record.label)
-            key = id(predictor)
+            # Group by weight+scaler hash rather than object identity, so
+            # separately loaded copies of the same checkpoint (which answer
+            # every query identically) merge into one lockstep search.
+            key = hash_by_id.get(id(predictor))
+            if key is None:
+                key = hash_by_id[id(predictor)] = predictor.state_hash()
             prepared_by_label[record.label] = prepared
             predictors[key] = predictor
             groups.setdefault(key, []).append(record)

@@ -240,8 +240,31 @@ class MaxModifiedSamplesConstraint(Constraint):
         if len(modified) <= self.max_modified:
             return window
         # Keep the latest (most influential) modifications and revert the rest.
-        keep = set(modified[-self.max_modified :])
+        # (The explicit zero case matters: modified[-0:] would keep everything.)
+        keep = set(modified[-self.max_modified :]) if self.max_modified > 0 else set()
         for index in modified:
             if index not in keep:
                 window[index, self.feature_column] = original[index, self.feature_column]
         return window
+
+    def project_batch(self, windows: np.ndarray, original: np.ndarray) -> np.ndarray:
+        # Vectorized twin of project: one fused pass over the whole candidate
+        # stack.  "Keep the latest max_modified modifications" becomes a
+        # suffix-count test — a modification survives iff at most
+        # ``max_modified`` modifications exist from its position to the end
+        # of the window (itself included).
+        windows = np.array(windows, dtype=np.float64, copy=True)
+        original = np.asarray(original, dtype=np.float64)
+        if len(windows) == 0:
+            return windows
+        if windows.shape[1:] != original.shape:
+            raise ValueError("windows and original must have the same window shape")
+        original_cgm = original[:, self.feature_column]
+        modified = np.abs(windows[:, :, self.feature_column] - original_cgm) > self.tolerance
+        suffix_counts = np.cumsum(modified[:, ::-1], axis=1)[:, ::-1]
+        revert = modified & (suffix_counts > self.max_modified)
+        cgm = windows[:, :, self.feature_column]
+        windows[:, :, self.feature_column] = np.where(
+            revert, np.broadcast_to(original_cgm, cgm.shape), cgm
+        )
+        return windows

@@ -128,6 +128,32 @@ class WindowScaler:
     def fit_transform(self, windows: np.ndarray) -> np.ndarray:
         return self.fit(windows).transform(windows)
 
+    def transform_samples(self, samples: np.ndarray) -> np.ndarray:
+        """Scale raw ``(n, features)`` samples with the fitted window statistics.
+
+        Window scaling is feature-wise over flattened rows, so scaling a sample
+        once at arrival is numerically identical to scaling it inside every
+        window it later appears in — the invariant the streaming serving path
+        relies on to do O(1) scaling work per tick.
+        """
+        samples = check_array(samples, "samples", ndim=2)
+        if self.n_features_ is None:
+            raise RuntimeError("WindowScaler is not fitted")
+        if samples.shape[1] != self.n_features_:
+            raise ValueError(
+                f"samples must have {self.n_features_} features, got {samples.shape[1]}"
+            )
+        return self._scaler.transform(samples)
+
+    def signature(self) -> bytes:
+        """Bytes fingerprinting the fitted statistics (for model-identity hashing)."""
+        if self.n_features_ is None:
+            raise RuntimeError("WindowScaler is not fitted")
+        return (
+            np.ascontiguousarray(self._scaler.mean_).tobytes()
+            + np.ascontiguousarray(self._scaler.std_).tobytes()
+        )
+
     @property
     def cgm_mean(self) -> float:
         return float(self._scaler.mean_[CGM_COLUMN])

@@ -1,4 +1,5 @@
-"""Static anomaly detectors: kNN, OneClassSVM, MAD-GAN, and an ensemble."""
+"""Static anomaly detectors (kNN, OneClassSVM, MAD-GAN, ensemble) and the
+per-tick streaming adapter used by :mod:`repro.serving`."""
 
 from repro.detectors.base import AnomalyDetector, ScaledDetectorMixin, ThresholdCalibrator
 from repro.detectors.knn import KNNClassifierDetector, KNNDistanceDetector, minkowski_distances
@@ -10,6 +11,7 @@ from repro.detectors.madgan import (
     SequenceGenerator,
 )
 from repro.detectors.ensemble import VotingEnsembleDetector
+from repro.detectors.streaming import StreamingDetector, StreamVerdict
 
 __all__ = [
     "AnomalyDetector",
@@ -25,4 +27,6 @@ __all__ = [
     "SequenceGenerator",
     "SequenceDiscriminator",
     "VotingEnsembleDetector",
+    "StreamingDetector",
+    "StreamVerdict",
 ]

@@ -1,0 +1,137 @@
+"""Streaming adapter turning any static detector into a per-tick monitor.
+
+The paper's detectors are *static*: they score pre-materialized windows or
+samples.  The deployment they model is *online* — a pump-side monitor sees CGM
+measurements one at a time and must flag the manipulated trace as it streams.
+:class:`StreamingDetector` closes that gap: it ring-buffers the incoming
+samples and feeds the underlying detector exactly the view it was trained on
+(the final measurement for ``unit="sample"`` detectors such as kNN and
+OneClassSVM, the whole multivariate window for ``unit="window"`` detectors
+such as MAD-GAN).  Verdicts are therefore *identical* to running the offline
+``predict`` on the same windows — pinned by ``tests/test_serving.py``.
+
+The adapter holds one ring per stream; the underlying detector object may be
+shared by many adapters, which is what lets the serving scheduler coalesce
+the per-tick views of every session into one batched ``predict`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector
+from repro.utils.timeseries import SampleRing
+
+#: Detection units the adapter understands (mirrors eval.experiments.DetectorSpec).
+STREAM_UNITS = ("sample", "window")
+
+
+@dataclass
+class StreamVerdict:
+    """Outcome of one streamed measurement.
+
+    Attributes
+    ----------
+    tick:
+        0-based index of the measurement within the stream.
+    warming:
+        True while the adapter has not yet buffered a full window (only
+        possible for ``unit="window"`` detectors); ``flagged`` is None then.
+    flagged:
+        Detector decision for this tick (1 = malicious) once warm.
+    score:
+        Continuous anomaly score when the adapter was built with
+        ``include_scores=True``; None otherwise.
+    """
+
+    tick: int
+    warming: bool
+    flagged: Optional[bool] = None
+    score: Optional[float] = None
+
+
+class StreamingDetector:
+    """Give a fitted :class:`AnomalyDetector` an ``update(sample) -> verdict`` API.
+
+    Parameters
+    ----------
+    detector:
+        A *fitted* detector.  May be shared across many adapters/streams.
+    unit:
+        ``"sample"`` feeds the detector single-measurement views ``(1, 1, F)``
+        (the paper's per-measurement kNN/OC-SVM flags); ``"window"`` feeds it
+        full ``(1, history, F)`` windows (MAD-GAN).
+    history:
+        Ring length for ``unit="window"`` (ignored for sample detectors).
+    include_scores:
+        Also query :meth:`AnomalyDetector.scores` each tick (one extra
+        detector call per tick; off by default).
+    """
+
+    def __init__(
+        self,
+        detector: AnomalyDetector,
+        unit: str = "sample",
+        history: int = 12,
+        include_scores: bool = False,
+    ):
+        if unit not in STREAM_UNITS:
+            raise ValueError(f"unit must be one of {STREAM_UNITS}, got {unit!r}")
+        if history <= 0:
+            raise ValueError("history must be positive")
+        self.detector = detector
+        self.unit = unit
+        self.history = int(history)
+        self.include_scores = bool(include_scores)
+        self._ring = SampleRing(self.history)
+        self._ticks = 0
+
+    # ------------------------------------------------------------------- state
+    @property
+    def ticks(self) -> int:
+        """Number of samples consumed so far."""
+        return self._ticks
+
+    def reset(self) -> None:
+        """Forget all buffered history (the detector itself is untouched)."""
+        self._ring.reset()
+        self._ticks = 0
+
+    # ------------------------------------------------------------------ ticking
+    def prepare(self, sample: np.ndarray):
+        """Consume one raw sample; return ``(tick, view)``.
+
+        ``view`` is the ``(1, T, F)`` array the detector must score for this
+        tick, or None while the window ring is still warming up.  Splitting
+        consumption from scoring lets a scheduler stack the views of many
+        streams into one batched ``detector.predict`` call; :meth:`update` is
+        the self-contained single-stream composition of the two halves.
+        """
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 1:
+            raise ValueError(f"sample must be a 1-D feature vector, got shape {sample.shape}")
+        tick = self._ticks
+        self._ticks += 1
+        if self.unit == "sample":
+            return tick, sample[np.newaxis, np.newaxis, :]
+        self._ring.push(sample)
+        window = self._ring.window()
+        return tick, None if window is None else window[np.newaxis]
+
+    def window(self) -> Optional[np.ndarray]:
+        """The current ``(history, F)`` window in time order, or None if warming."""
+        if self.unit == "sample":
+            return None
+        return self._ring.window()
+
+    def update(self, sample: np.ndarray) -> StreamVerdict:
+        """Consume one sample and return this tick's verdict."""
+        tick, view = self.prepare(sample)
+        if view is None:
+            return StreamVerdict(tick=tick, warming=True)
+        flagged = bool(self.detector.predict(view)[0])
+        score = float(self.detector.scores(view)[0]) if self.include_scores else None
+        return StreamVerdict(tick=tick, warming=False, flagged=flagged, score=score)

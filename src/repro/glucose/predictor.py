@@ -10,13 +10,23 @@ minutes ahead.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.data.dataset import DEFAULT_HISTORY, DEFAULT_HORIZON, WindowScaler
-from repro.nn import Adam, BatchIterator, BiLSTM, Dense, Sequential, Tensor, mse_loss
+from repro.nn import (
+    Adam,
+    BatchIterator,
+    BiLSTM,
+    BiLSTMStreamState,
+    Dense,
+    Sequential,
+    Tensor,
+    mse_loss,
+)
 from repro.utils.rng import as_random_state
 from repro.utils.validation import check_array, check_consistent_length, check_fitted
 
@@ -194,6 +204,82 @@ class GlucosePredictor:
         window = check_array(window, "window", ndim=2)
         return float(self.predict(window[np.newaxis])[0])
 
+    # ----------------------------------------------------------------- streaming
+    def stream_state(self, n_streams: int = 1) -> BiLSTMStreamState:
+        """Incremental serving state for ``n_streams`` concurrent CGM streams.
+
+        The state ring-buffers the fused BiLSTM input projections of each
+        stream's last ``history`` samples, so :meth:`step_stream` pays one
+        scaling pass and one input projection per *new sample* instead of
+        re-preparing the whole window — and serves every stream with one
+        stacked recurrence per tick.
+        """
+        check_fitted(self, ("scaler",))
+        encoder = self.model[0]
+        if not isinstance(encoder, BiLSTM):
+            raise TypeError(
+                "streaming inference expects the model to start with a BiLSTM "
+                f"encoder, found {type(encoder).__name__}"
+            )
+        return encoder.stream_state(n_streams, capacity=self.history)
+
+    def step_stream(
+        self,
+        samples: np.ndarray,
+        state: BiLSTMStreamState,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance selected streams by one raw CGM sample each.
+
+        Parameters
+        ----------
+        samples:
+            ``(k, n_features)`` raw (unscaled) samples, one per stream ticked.
+        state:
+            State from :meth:`stream_state`.
+        rows:
+            Stream slots receiving a sample this tick (default ``arange(k)``).
+
+        Returns
+        -------
+        ``(k,)`` predictions in mg/dL.  A stream that has not yet seen a full
+        ``history`` window returns NaN (warm-up).  Once warm, the prediction
+        matches :meth:`predict` on the same sliding window within 1e-10 —
+        pinned by ``tests/test_serving.py`` and ``scripts/check_parity.py``.
+        """
+        check_fitted(self, ("scaler",))
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[1] != self.n_features:
+            raise ValueError(
+                f"samples must have shape (k, {self.n_features}), got {samples.shape}"
+            )
+        scaled = self._clip_scaled(self.scaler.transform_samples(samples))
+        encoded = self.model[0].step(scaled, state, rows=rows)
+        predictions = np.full(len(samples), np.nan)
+        warm = ~np.isnan(encoded[:, 0])
+        if np.any(warm):
+            output = encoded[warm]
+            for layer in self.model.layers[1:]:
+                output = layer.fast_forward(output)
+            predictions[warm] = self.scaler.unscale_target(output.reshape(-1))
+        return predictions
+
+    def predict_stream(self, features: np.ndarray) -> np.ndarray:
+        """Stream a whole ``(T, n_features)`` trace one tick at a time.
+
+        Returns a ``(T,)`` array: entry ``t`` is the prediction for the window
+        ending at sample ``t`` (NaN for the first ``history - 1`` warm-up
+        ticks), computed incrementally with O(1) work per tick beyond the
+        window recurrence.  Equivalent to ``predict`` over the trace's sliding
+        windows within 1e-10.
+        """
+        features = check_array(features, "features", ndim=2)
+        state = self.stream_state(1)
+        predictions = np.full(len(features), np.nan)
+        for tick, sample in enumerate(features):
+            predictions[tick] = self.step_stream(sample[np.newaxis], state)[0]
+        return predictions
+
     def evaluate(self, windows: np.ndarray, targets: np.ndarray) -> Dict[str, float]:
         """Compute RMSE and MAE (mg/dL) on a held-out split."""
         targets = check_array(targets, "targets", ndim=1)
@@ -212,3 +298,25 @@ class GlucosePredictor:
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         self.model.load_state_dict(state)
+
+    def state_hash(self) -> str:
+        """Fingerprint of everything :meth:`predict` depends on.
+
+        Hashes the weight ``state_dict`` plus the fitted scaler statistics,
+        the input clamp, and the window geometry — two predictors with equal
+        hashes produce identical predictions for identical inputs, even when
+        they are separately constructed objects (e.g. the same checkpoint
+        loaded twice).  Both the attack campaign's cohort batching and the
+        serving scheduler's lane assignment group by this hash instead of
+        object identity.
+        """
+        digest = hashlib.sha256(self.model.state_hash().encode())
+        digest.update(
+            f"|{self.history}|{self.horizon}|{self.n_features}|{self.input_clip_std}"
+            # use_fast_path selects the inference engine; the two paths agree
+            # only within 1e-10, so mixed configurations must not merge.
+            f"|{self.use_fast_path}".encode()
+        )
+        if self.scaler is not None:
+            digest.update(self.scaler.signature())
+        return digest.hexdigest()

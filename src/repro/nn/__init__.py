@@ -26,7 +26,13 @@ from repro.nn.module import (
     apply_activation,
     apply_activation_array,
 )
-from repro.nn.recurrent import LSTM, BiLSTM, LSTMCell
+from repro.nn.recurrent import (
+    LSTM,
+    BiLSTM,
+    BiLSTMStreamState,
+    LSTMCell,
+    LSTMStreamState,
+)
 from repro.nn.functional import (
     binary_cross_entropy,
     binary_cross_entropy_with_logits,
@@ -60,6 +66,8 @@ __all__ = [
     "LSTMCell",
     "LSTM",
     "BiLSTM",
+    "LSTMStreamState",
+    "BiLSTMStreamState",
     "mse_loss",
     "mae_loss",
     "huber_loss",

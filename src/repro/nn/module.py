@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -217,6 +218,22 @@ class Module:
     def count_parameters(self) -> int:
         """Total number of trainable scalar parameters."""
         return int(sum(parameter.data.size for parameter in self.parameters()))
+
+    def state_hash(self) -> str:
+        """Deterministic fingerprint of every parameter (paths, shapes, values).
+
+        Two modules share a hash exactly when :meth:`state_dict` would return
+        byte-identical weights under the same parameter paths — e.g. a model
+        and a separately constructed copy loaded via :meth:`load_state_dict`.
+        Used to merge identical models into one batched lane/search instead of
+        relying on object identity.
+        """
+        digest = hashlib.sha256()
+        for name, parameter in sorted(self.named_parameters().items()):
+            digest.update(name.encode())
+            digest.update(str(parameter.data.shape).encode())
+            digest.update(np.ascontiguousarray(parameter.data).tobytes())
+        return digest.hexdigest()
 
 
 class Dense(Module):

@@ -93,10 +93,55 @@ class LSTMCell(Module):
         new_hidden = output_gate * np.tanh(new_cell)
         return new_hidden, new_cell
 
+    def step(self, inputs: np.ndarray, state: "LSTMStreamState") -> np.ndarray:
+        """Advance a streaming state by one tick on raw ``(batch, input_size)`` samples.
+
+        Equivalent to one iteration of :meth:`LSTM.fast_forward`: the sample is
+        projected through the fused input matrix once and the recurrence runs
+        graph-free on the cached ``(hidden, cell)`` pair, so feeding a sequence
+        tick-by-tick reproduces the offline unrolled forward within 1e-10.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        projection = inputs @ self.weight_input.data
+        state.hidden, state.cell = self.fast_step(
+            projection, state.hidden, state.cell, state.gates_buffer
+        )
+        state.ticks += 1
+        return state.hidden
+
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
         """Zero-valued hidden and cell state for a batch."""
         zeros = np.zeros((batch_size, self.hidden_size))
         return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTMStreamState:
+    """Incremental ``(hidden, cell)`` state for tick-by-tick LSTM inference.
+
+    Holds exactly one hidden/cell pair per stream plus a reusable gate scratch
+    buffer, so advancing a tick allocates nothing that grows with the stream
+    length — O(1) memory per tick per stream.
+    """
+
+    __slots__ = ("hidden", "cell", "gates_buffer", "ticks")
+
+    def __init__(self, batch_size: int, hidden_size: int):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.hidden = np.zeros((batch_size, hidden_size))
+        self.cell = np.zeros((batch_size, hidden_size))
+        self.gates_buffer = np.empty((batch_size, 4 * hidden_size))
+        self.ticks = 0
+
+    @property
+    def batch_size(self) -> int:
+        return self.hidden.shape[0]
+
+    def reset(self) -> None:
+        """Return every stream to the zero state."""
+        self.hidden[:] = 0.0
+        self.cell[:] = 0.0
+        self.ticks = 0
 
 
 class LSTM(Module):
@@ -190,6 +235,29 @@ class LSTM(Module):
                 sequence[:, step, :] = hidden
         return hidden if sequence is None else sequence
 
+    # ---------------------------------------------------------------- streaming
+    def stream_state(self, batch_size: int = 1) -> LSTMStreamState:
+        """Fresh incremental state for ``batch_size`` concurrent streams."""
+        if self.reverse:
+            raise ValueError(
+                "a reverse LSTM consumes the sequence from its end and cannot be "
+                "streamed tick-by-tick; stream it through BiLSTM.stream_state, "
+                "which ring-buffers the window for the backward pass"
+            )
+        return LSTMStreamState(batch_size, self.hidden_size)
+
+    def step(self, inputs: np.ndarray, state: LSTMStreamState) -> np.ndarray:
+        """Advance every stream by one tick; returns the new hidden state.
+
+        After ``t`` ticks the hidden state equals
+        ``fast_forward(sequence[:, :t])`` (final hidden) within 1e-10 — the
+        incremental twin of the offline unrolled forward, at O(1) work and
+        memory per tick instead of O(t) recompute.
+        """
+        if self.reverse:
+            raise ValueError("a reverse LSTM cannot be advanced tick-by-tick")
+        return self.cell.step(inputs, state)
+
 
 class BiLSTM(Module):
     """A bidirectional LSTM that concatenates forward and backward states.
@@ -237,3 +305,154 @@ class BiLSTM(Module):
         forward_out = self.forward_layer.fast_forward(inputs)
         backward_out = self.backward_layer.fast_forward(inputs)
         return np.concatenate([forward_out, backward_out], axis=-1)
+
+    # ---------------------------------------------------------------- streaming
+    def stream_state(self, n_streams: int = 1, capacity: int = 1) -> "BiLSTMStreamState":
+        """Ring-buffered state for sliding-window streaming over ``n_streams``.
+
+        A bidirectional layer cannot carry ``(h, c)`` across a sliding window:
+        both recurrences restart at the window boundary, and the boundary moves
+        every tick.  What *can* be cached is the expensive, position-independent
+        part — the fused input projection of each sample for both directions —
+        so the state keeps a small ring of the last ``capacity`` projections
+        per stream and :meth:`step` only pays one input matmul per new sample
+        plus the window recurrences on preprojected rows.
+        """
+        if self.return_sequences:
+            raise ValueError(
+                "streaming BiLSTM state is defined for sequence-to-one layers "
+                "(return_sequences=False); per-tick full sequences would not be O(1)"
+            )
+        return BiLSTMStreamState(n_streams, self.hidden_size, capacity)
+
+    def step(
+        self,
+        samples: np.ndarray,
+        state: "BiLSTMStreamState",
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Push one sample per selected stream and emit sliding-window outputs.
+
+        Parameters
+        ----------
+        samples:
+            ``(k, input_size)`` raw samples, one per selected stream.
+        state:
+            Stream state created by :meth:`stream_state`.
+        rows:
+            Stream (slot) indices receiving a sample this tick; defaults to
+            ``arange(k)``.  Streams outside ``rows`` are untouched, which is
+            how a scheduler serves sessions that miss a tick.
+
+        Returns
+        -------
+        ``(k, 2 * hidden)`` outputs matching ``fast_forward`` on each stream's
+        current window within 1e-10.  Rows whose ring is not yet full (the
+        warm-up phase) are NaN.
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[1] != self.forward_layer.input_size:
+            raise ValueError(
+                f"samples must have shape (k, {self.forward_layer.input_size}), "
+                f"got {samples.shape}"
+            )
+        if rows is None:
+            rows = np.arange(len(samples))
+        else:
+            rows = np.asarray(rows, dtype=int)
+            if len(rows) != len(samples):
+                raise ValueError("rows and samples must have the same length")
+
+        # One fused input projection per new sample and direction; every window
+        # the sample participates in reuses these rows from the ring.
+        cursors = state.cursor[rows]
+        state.forward_proj[rows, cursors] = samples @ self.forward_layer.cell.weight_input.data
+        state.backward_proj[rows, cursors] = samples @ self.backward_layer.cell.weight_input.data
+        state.cursor[rows] = (cursors + 1) % state.capacity
+        state.count[rows] = np.minimum(state.count[rows] + 1, state.capacity)
+
+        size = self.hidden_size
+        outputs = np.full((len(rows), 2 * size), np.nan)
+        full_mask = state.count[rows] == state.capacity
+        if not np.any(full_mask):
+            return outputs
+        full_rows = rows[full_mask]
+
+        # Gather each stream's ring in window order (oldest -> newest); after
+        # the write above, the oldest sample sits at the cursor position.
+        order = (
+            state.cursor[full_rows][:, None] + np.arange(state.capacity)[None, :]
+        ) % state.capacity
+        forward_windows = np.take_along_axis(
+            state.forward_proj[full_rows], order[:, :, None], axis=1
+        )
+        backward_windows = np.take_along_axis(
+            state.backward_proj[full_rows], order[:, :, None], axis=1
+        )
+
+        n_full = len(full_rows)
+        gates = np.empty((n_full, 4 * size))
+        hidden = np.zeros((n_full, size))
+        cell_state = np.zeros((n_full, size))
+        forward_cell = self.forward_layer.cell
+        for step_index in range(state.capacity):
+            hidden, cell_state = forward_cell.fast_step(
+                forward_windows[:, step_index], hidden, cell_state, gates
+            )
+        forward_hidden = hidden
+
+        hidden = np.zeros((n_full, size))
+        cell_state = np.zeros((n_full, size))
+        backward_cell = self.backward_layer.cell
+        for step_index in range(state.capacity - 1, -1, -1):
+            hidden, cell_state = backward_cell.fast_step(
+                backward_windows[:, step_index], hidden, cell_state, gates
+            )
+        outputs[full_mask] = np.concatenate([forward_hidden, hidden], axis=1)
+        return outputs
+
+
+class BiLSTMStreamState:
+    """Per-stream ring buffers of fused input projections for a BiLSTM.
+
+    Memory is ``O(n_streams * capacity * hidden)`` and fixed for the lifetime
+    of the state — advancing a tick writes one ring row per stream and never
+    allocates anything proportional to the stream length.  Slots are
+    independent: each has its own cursor and fill count, so streams may start,
+    stop, and miss ticks independently (the serving scheduler relies on this).
+    """
+
+    __slots__ = ("capacity", "forward_proj", "backward_proj", "cursor", "count")
+
+    def __init__(self, n_streams: int, hidden_size: int, capacity: int):
+        if n_streams <= 0:
+            raise ValueError("n_streams must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.forward_proj = np.zeros((n_streams, capacity, 4 * hidden_size))
+        self.backward_proj = np.zeros((n_streams, capacity, 4 * hidden_size))
+        self.cursor = np.zeros(n_streams, dtype=int)
+        self.count = np.zeros(n_streams, dtype=int)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.cursor)
+
+    def grow(self, n_streams: int) -> None:
+        """Extend the state with fresh (empty) slots up to ``n_streams``."""
+        current = self.n_streams
+        if n_streams <= current:
+            return
+        extra = n_streams - current
+        pad = ((0, extra), (0, 0), (0, 0))
+        self.forward_proj = np.pad(self.forward_proj, pad)
+        self.backward_proj = np.pad(self.backward_proj, pad)
+        self.cursor = np.concatenate([self.cursor, np.zeros(extra, dtype=int)])
+        self.count = np.concatenate([self.count, np.zeros(extra, dtype=int)])
+
+    def reset_slots(self, rows: np.ndarray) -> None:
+        """Empty the rings of the given slots so they can be reused."""
+        rows = np.asarray(rows, dtype=int)
+        self.cursor[rows] = 0
+        self.count[rows] = 0

@@ -1,0 +1,52 @@
+"""Streaming online-inference subsystem.
+
+The paper's threat model is online — a compromised CGM→pump link tampers with
+readings as they stream in, and detectors must flag the trace in real time —
+while the rest of this repository evaluates offline on pre-materialized
+windows.  This package is the serving layer that closes the gap:
+
+``session``
+    :class:`PatientSession` — one live patient stream with ring-buffered
+    history and a slot in a shared recurrent state; O(1) memory per tick.
+``scheduler``
+    :class:`StreamScheduler` — coalesces every session sharing a model
+    (grouped by weight+scaler hash, not object identity) into ONE stacked
+    incremental step per tick; scales to thousands of concurrent sessions.
+``attacker``
+    :class:`OnlineAttacker` — a mid-stream man-in-the-middle that runs the
+    URET evasion engine on the live context window each tick and tampers the
+    sample in flight.
+``replay``
+    :class:`StreamReplayer` — drives sessions from physiology-simulator
+    traces, with optional attack episodes and streaming detectors, and
+    reports the paper's trace-level TP/FN breakdown plus per-episode
+    detection latency.
+
+Every streamed prediction is pinned to the offline fast path
+(:meth:`GlucosePredictor.predict`) within 1e-10, and streaming detector
+verdicts are identical to the offline ``predict`` on the same windows; the
+pins live in ``tests/test_serving.py`` and ``scripts/check_parity.py``.
+"""
+
+from repro.serving.session import PatientSession, SessionTick
+from repro.serving.scheduler import StreamScheduler
+from repro.serving.attacker import AttackEpisode, OnlineAttacker, TamperRecord
+from repro.serving.replay import (
+    EpisodeOutcome,
+    ReplayReport,
+    ReplaySessionTrace,
+    StreamReplayer,
+)
+
+__all__ = [
+    "PatientSession",
+    "SessionTick",
+    "StreamScheduler",
+    "AttackEpisode",
+    "OnlineAttacker",
+    "TamperRecord",
+    "EpisodeOutcome",
+    "ReplayReport",
+    "ReplaySessionTrace",
+    "StreamReplayer",
+]

@@ -1,0 +1,293 @@
+"""Replay physiology-simulator traces through the live serving stack.
+
+The :class:`StreamReplayer` is the bridge between the repository's offline
+world (simulated cohorts, fitted forecasters, fitted detectors) and the
+serving subsystem: it opens one session per patient record, feeds the trace
+one tick at a time through the :class:`StreamScheduler`, lets an optional
+:class:`OnlineAttacker` tamper samples in flight, and collects everything
+needed for the paper's *online* evaluation — the per-measurement TP/FN
+breakdown of Figure 5, but measured live, plus the quantity only a streaming
+evaluation can produce: **detection latency**, the number of ticks between an
+attack episode starting and a detector first flagging the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.cohort import CGM_COLUMN, Cohort
+from repro.detectors.base import AnomalyDetector
+from repro.detectors.streaming import StreamingDetector
+from repro.eval.experiments import TraceDetectionSample
+from repro.eval.metrics import ConfusionMatrix, confusion_matrix
+from repro.glucose.models import GlucoseModelZoo
+from repro.glucose.states import Scenario, scenario_for_samples
+from repro.serving.attacker import AttackEpisode, OnlineAttacker
+from repro.serving.scheduler import StreamScheduler
+from repro.serving.session import SessionTick
+
+
+@dataclass
+class ReplaySessionTrace:
+    """Everything one session produced during a replay."""
+
+    session_id: str
+    patient_label: str
+    ticks: List[SessionTick] = field(default_factory=list)
+    scenarios: List[Scenario] = field(default_factory=list)
+
+    @property
+    def n_ticks(self) -> int:
+        return len(self.ticks)
+
+    @property
+    def attacked_ticks(self) -> List[int]:
+        return [outcome.tick for outcome in self.ticks if outcome.attacked]
+
+    def predictions(self) -> np.ndarray:
+        """Per-tick predictions (NaN while warming)."""
+        return np.array(
+            [np.nan if outcome.prediction is None else outcome.prediction for outcome in self.ticks]
+        )
+
+    def delivered_cgm(self) -> np.ndarray:
+        return np.array([outcome.sample[CGM_COLUMN] for outcome in self.ticks])
+
+
+@dataclass
+class EpisodeOutcome:
+    """Did a detector catch one attack episode, and how fast?"""
+
+    session_id: str
+    detector: str
+    episode: AttackEpisode
+    detected: bool
+    first_flag_tick: Optional[int] = None
+
+    @property
+    def latency_ticks(self) -> Optional[float]:
+        """Ticks from episode start to the first flag (None if undetected)."""
+        if self.first_flag_tick is None:
+            return None
+        return float(self.first_flag_tick - self.episode.start)
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate result of one replay run."""
+
+    sessions: Dict[str, ReplaySessionTrace] = field(default_factory=dict)
+    episodes: List[EpisodeOutcome] = field(default_factory=list)
+    detector_names: List[str] = field(default_factory=list)
+
+    # -------------------------------------------------------------- detection
+    def _iter_verdicts(self, detector: str, session_id: Optional[str] = None):
+        traces = (
+            self.sessions.values()
+            if session_id is None
+            else [self.sessions[session_id]]
+        )
+        for trace in traces:
+            for outcome in trace.ticks:
+                verdict = outcome.verdicts.get(detector)
+                if verdict is None or verdict.warming:
+                    continue
+                yield trace, outcome, verdict
+
+    def confusion(self, detector: str) -> ConfusionMatrix:
+        """Tick-level confusion of one detector (tampered = positive class)."""
+        truth: List[int] = []
+        flags: List[int] = []
+        for _, outcome, verdict in self._iter_verdicts(detector):
+            truth.append(int(outcome.attacked))
+            flags.append(int(verdict.flagged))
+        return confusion_matrix(truth, flags)
+
+    def trace_samples(
+        self, detector: str, session_id: str
+    ) -> List[TraceDetectionSample]:
+        """The paper's Figure 5 per-measurement view, from the live replay."""
+        trace = self.sessions[session_id]
+        samples: List[TraceDetectionSample] = []
+        for _, outcome, verdict in self._iter_verdicts(detector, session_id):
+            samples.append(
+                TraceDetectionSample(
+                    patient_label=trace.patient_label,
+                    target_index=outcome.tick,
+                    scenario=trace.scenarios[outcome.tick],
+                    cgm_value=float(outcome.sample[CGM_COLUMN]),
+                    is_malicious=bool(outcome.attacked),
+                    flagged=bool(verdict.flagged),
+                )
+            )
+        return samples
+
+    def trace_breakdown(self, detector: str) -> Dict[str, Dict[str, int]]:
+        """Per-session true-positive / false-negative counts on tampered ticks."""
+        breakdown: Dict[str, Dict[str, int]] = {}
+        for trace, outcome, verdict in self._iter_verdicts(detector):
+            counts = breakdown.setdefault(
+                trace.session_id, {"true_positives": 0, "false_negatives": 0}
+            )
+            if not outcome.attacked:
+                continue
+            if verdict.flagged:
+                counts["true_positives"] += 1
+            else:
+                counts["false_negatives"] += 1
+        return breakdown
+
+    # ---------------------------------------------------------------- latency
+    def episode_outcomes(self, detector: str) -> List[EpisodeOutcome]:
+        return [outcome for outcome in self.episodes if outcome.detector == detector]
+
+    def mean_detection_latency(self, detector: str) -> float:
+        """Mean ticks-to-first-flag over the *detected* episodes (NaN if none)."""
+        latencies = [
+            outcome.latency_ticks
+            for outcome in self.episode_outcomes(detector)
+            if outcome.latency_ticks is not None
+        ]
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    def detection_rate(self, detector: str) -> float:
+        """Fraction of attack episodes the detector flagged at least once."""
+        outcomes = self.episode_outcomes(detector)
+        if not outcomes:
+            return float("nan")
+        return float(np.mean([outcome.detected for outcome in outcomes]))
+
+
+class StreamReplayer:
+    """Drive live sessions from simulated patient traces.
+
+    Parameters
+    ----------
+    zoo:
+        Fitted model zoo; each patient streams through the model the
+        deployment would use for them.
+    detectors:
+        ``{name: (fitted detector, unit)}`` monitors attached to every
+        session.  The detector *objects* are shared across sessions (the
+        scheduler batches their queries); the per-stream ring adapters are
+        created per session.  Units follow
+        :class:`repro.eval.experiments.DetectorSpec`.
+    attacker:
+        Optional :class:`OnlineAttacker` tampering samples in flight.
+    scheduler:
+        Bring-your-own scheduler (e.g. to co-serve other sessions); a fresh
+        one is created per replay otherwise.
+    """
+
+    def __init__(
+        self,
+        zoo: GlucoseModelZoo,
+        detectors: Optional[Mapping[str, Tuple[AnomalyDetector, str]]] = None,
+        attacker: Optional[OnlineAttacker] = None,
+        scheduler: Optional[StreamScheduler] = None,
+    ):
+        self.zoo = zoo
+        self.detectors = dict(detectors or {})
+        self.attacker = attacker
+        self.scheduler = scheduler
+
+    def replay(
+        self,
+        cohort: Cohort,
+        split: str = "test",
+        max_ticks: Optional[int] = None,
+    ) -> ReplayReport:
+        """Stream every patient's trace tick-by-tick and collect the report."""
+        scheduler = self.scheduler or StreamScheduler()
+        report = ReplayReport(detector_names=list(self.detectors))
+
+        traces: List[dict] = []
+        try:
+            for record in cohort:
+                features = record.features(split)
+                if max_ticks is not None:
+                    features = features[:max_ticks]
+                if len(features) == 0:
+                    continue
+                scenarios = scenario_for_samples(features[:, 2])
+                adapters = {
+                    name: StreamingDetector(
+                        detector, unit=unit, history=self.zoo.dataset.history
+                    )
+                    for name, (detector, unit) in self.detectors.items()
+                }
+                session = scheduler.open_session(
+                    record.label,
+                    self.zoo.model_for(record.label),
+                    detectors=adapters,
+                )
+                report.sessions[session.session_id] = ReplaySessionTrace(
+                    session_id=session.session_id,
+                    patient_label=record.label,
+                    scenarios=list(scenarios),
+                )
+                traces.append(
+                    {"session": session, "features": features, "scenarios": scenarios}
+                )
+            if not traces:
+                return report
+
+            n_ticks = max(len(trace["features"]) for trace in traces)
+            for tick in range(n_ticks):
+                live = [trace for trace in traces if tick < len(trace["features"])]
+                benign = {
+                    trace["session"].session_id: trace["features"][tick] for trace in live
+                }
+                if self.attacker is not None:
+                    delivered = self.attacker.intercept(
+                        [
+                            (trace["session"], trace["features"][tick], trace["scenarios"][tick])
+                            for trace in live
+                        ]
+                    )
+                else:
+                    delivered = benign
+                outcomes = scheduler.tick(delivered)
+                for trace in live:
+                    session_id = trace["session"].session_id
+                    outcome = outcomes[session_id]
+                    outcome.attacked = not np.array_equal(
+                        outcome.sample, np.asarray(benign[session_id], dtype=np.float64)
+                    )
+                    report.sessions[session_id].ticks.append(outcome)
+            self._score_episodes(report)
+        finally:
+            # Always tear the replay's sessions down — a mid-replay failure
+            # must not leak sessions/slots into a bring-your-own scheduler.
+            for trace in traces:
+                scheduler.close_session(trace["session"].session_id)
+        return report
+
+    # ------------------------------------------------------------------ helpers
+    def _score_episodes(self, report: ReplayReport) -> None:
+        if self.attacker is None:
+            return
+        for session_id, episodes in self.attacker.episodes.items():
+            trace = report.sessions.get(session_id)
+            if trace is None:
+                continue
+            for episode in episodes:
+                for detector in report.detector_names:
+                    first_flag: Optional[int] = None
+                    for outcome in trace.ticks[episode.start : episode.end]:
+                        verdict = outcome.verdicts.get(detector)
+                        if verdict is not None and not verdict.warming and verdict.flagged:
+                            first_flag = outcome.tick
+                            break
+                    report.episodes.append(
+                        EpisodeOutcome(
+                            session_id=session_id,
+                            detector=detector,
+                            episode=episode,
+                            detected=first_flag is not None,
+                            first_flag_tick=first_flag,
+                        )
+                    )

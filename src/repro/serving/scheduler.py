@@ -1,0 +1,194 @@
+"""Session batching: one stacked incremental model step per tick per model.
+
+The scheduler is the serving-side twin of the attack campaign's cohort
+batching: instead of merging the windows of patients sharing a model into one
+lockstep *search*, it merges the live streams of sessions sharing a model into
+one stacked incremental *step*.  Sessions are grouped into **lanes** by
+:meth:`GlucosePredictor.state_hash` — weights + scaler, not object identity —
+so separately loaded copies of the same checkpoint share a lane.  Each lane
+holds one stacked :class:`~repro.nn.recurrent.BiLSTMStreamState` with a slot
+per session; a tick gathers whichever sessions received a sample, advances
+their slots with one ``step_stream`` call, and batches all detector queries
+that share an underlying detector object into one ``predict`` per detector.
+
+Capacity is dynamic: lanes double their slot arrays when full and recycle the
+slots of closed sessions, so thousands of sessions can come and go without
+rebuilding any state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.glucose.predictor import GlucosePredictor
+from repro.detectors.streaming import StreamVerdict
+from repro.serving.session import PatientSession, SessionTick
+
+#: Initial number of slots a fresh lane allocates.
+_INITIAL_LANE_CAPACITY = 4
+
+
+class _Lane:
+    """All sessions served by one model: a stacked stream state plus slots."""
+
+    __slots__ = ("predictor", "state", "sessions", "_free")
+
+    def __init__(self, predictor: GlucosePredictor, capacity: int = _INITIAL_LANE_CAPACITY):
+        self.predictor = predictor
+        self.state = predictor.stream_state(capacity)
+        self.sessions: Dict[int, PatientSession] = {}
+        self._free: List[int] = list(range(capacity))
+
+    def allocate(self, session: PatientSession) -> int:
+        if not self._free:
+            old = self.state.n_streams
+            self.state.grow(max(2 * old, _INITIAL_LANE_CAPACITY))
+            self._free = list(range(old, self.state.n_streams))
+        slot = self._free.pop(0)
+        self.sessions[slot] = session
+        return slot
+
+    def release(self, slot: int) -> None:
+        self.sessions.pop(slot, None)
+        self.state.reset_slots(np.array([slot]))
+        bisect.insort(self._free, slot)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+
+class StreamScheduler:
+    """Coalesce concurrent patient streams into per-model batched ticks."""
+
+    def __init__(self):
+        self._lanes: Dict[str, _Lane] = {}
+        self._sessions: Dict[str, PatientSession] = {}
+
+    # ---------------------------------------------------------------- sessions
+    def open_session(
+        self,
+        patient_label: str,
+        predictor: GlucosePredictor,
+        detectors=None,
+        session_id: Optional[str] = None,
+    ) -> PatientSession:
+        """Register a new live stream served by ``predictor``.
+
+        Sessions landing on models with equal :meth:`GlucosePredictor.state_hash`
+        share a lane (and therefore a stacked model step) even when the
+        predictor objects are distinct.
+        """
+        session_id = str(session_id if session_id is not None else patient_label)
+        if session_id in self._sessions:
+            raise ValueError(f"session id {session_id!r} already exists")
+        lane_key = predictor.state_hash()
+        lane = self._lanes.get(lane_key)
+        if lane is None:
+            lane = self._lanes[lane_key] = _Lane(predictor)
+        session = PatientSession(session_id, patient_label, predictor, detectors=detectors)
+        slot = lane.allocate(session)
+        session._attach(self, lane_key, slot)
+        self._sessions[session_id] = session
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        """Tear a session down and recycle its lane slot."""
+        session = self._sessions.pop(str(session_id))
+        lane = self._lanes[session._lane_key]
+        lane.release(session._slot)
+        if not lane.sessions:
+            del self._lanes[session._lane_key]
+        session._attach(None, None, None)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of distinct models currently being served."""
+        return len(self._lanes)
+
+    def session(self, session_id: str) -> PatientSession:
+        return self._sessions[str(session_id)]
+
+    # ----------------------------------------------------------------- ticking
+    def tick(self, samples: Mapping[str, np.ndarray]) -> Dict[str, SessionTick]:
+        """Deliver one raw sample to each named session; return their outcomes.
+
+        Sessions not named in ``samples`` are untouched (a device that missed
+        a transmission slot).  All model work is one ``step_stream`` call per
+        lane; all detector work is one ``predict`` call per distinct
+        underlying detector object.
+        """
+        per_lane: Dict[str, List[Tuple[PatientSession, np.ndarray]]] = {}
+        for session_id, sample in samples.items():
+            session = self._sessions[str(session_id)]
+            sample = np.asarray(sample, dtype=np.float64)
+            if sample.shape != (session.predictor.n_features,):
+                raise ValueError(
+                    f"sample for session {session_id!r} must have shape "
+                    f"({session.predictor.n_features},), got {sample.shape}"
+                )
+            per_lane.setdefault(session._lane_key, []).append((session, sample))
+
+        results: Dict[str, SessionTick] = {}
+        # (detector object id, view shape) -> stacked views + where they go
+        pending_views: Dict[tuple, dict] = {}
+
+        for lane_key, items in per_lane.items():
+            lane = self._lanes[lane_key]
+            lane_sessions = [session for session, _ in items]
+            stacked = np.stack([sample for _, sample in items])
+            rows = np.array([session._slot for session in lane_sessions])
+            predictions = lane.predictor.step_stream(stacked, lane.state, rows=rows)
+
+            for session, sample, prediction in zip(lane_sessions, stacked, predictions):
+                tick_index = session.ticks
+                session.ticks += 1
+                session._push_raw(sample)
+                value = None if np.isnan(prediction) else float(prediction)
+                session.last_prediction = value if value is not None else session.last_prediction
+                outcome = SessionTick(
+                    session_id=session.session_id,
+                    tick=tick_index,
+                    sample=sample.copy(),
+                    prediction=value,
+                )
+                results[session.session_id] = outcome
+
+                for name, adapter in session.detectors.items():
+                    detector_tick, view = adapter.prepare(sample)
+                    if view is None:
+                        outcome.verdicts[name] = StreamVerdict(tick=detector_tick, warming=True)
+                        continue
+                    group_key = (id(adapter.detector), view.shape[1:])
+                    group = pending_views.setdefault(
+                        group_key,
+                        {"detector": adapter.detector, "views": [], "targets": []},
+                    )
+                    group["views"].append(view)
+                    group["targets"].append((outcome, name, adapter, detector_tick))
+
+        # One batched query per distinct detector object and view shape.
+        for group in pending_views.values():
+            stacked_views = np.concatenate(group["views"])
+            flags = group["detector"].predict(stacked_views)
+            wants_scores = any(adapter.include_scores for _, _, adapter, _ in group["targets"])
+            scores = group["detector"].scores(stacked_views) if wants_scores else None
+            for index, (outcome, name, adapter, detector_tick) in enumerate(group["targets"]):
+                score = (
+                    float(scores[index])
+                    if scores is not None and adapter.include_scores
+                    else None
+                )
+                outcome.verdicts[name] = StreamVerdict(
+                    tick=detector_tick,
+                    warming=False,
+                    flagged=bool(flags[index]),
+                    score=score,
+                )
+        return results

@@ -1,0 +1,139 @@
+"""Live per-patient streaming sessions.
+
+A :class:`PatientSession` is the serving-side unit of state for one CGM
+stream.  It owns everything that is *per patient*: a fixed-size ring of the
+last ``history`` delivered raw samples (the context an online attacker and the
+parity checks need), the per-stream detector adapters, and a slot handle into
+its lane's stacked recurrent state (the scaler statistics and ring-buffered
+input projections live with the lane's predictor, shared by every session on
+the same model).  Memory per session is fixed — advancing a tick never
+allocates anything that grows with the stream length.
+
+Sessions are created by :meth:`StreamScheduler.open_session` and advanced by
+:meth:`StreamScheduler.tick`; :meth:`PatientSession.update` is the one-session
+convenience wrapper over the scheduler tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.detectors.streaming import StreamingDetector, StreamVerdict
+from repro.glucose.predictor import GlucosePredictor
+from repro.utils.timeseries import SampleRing
+
+
+@dataclass
+class SessionTick:
+    """Everything the serving layer produced for one session at one tick.
+
+    Attributes
+    ----------
+    session_id, tick:
+        Session identity and its 0-based tick counter.
+    sample:
+        The *delivered* raw sample — what the model and detectors actually
+        saw, i.e. the tampered value when an online attacker intercepted it.
+    prediction:
+        Forecast in mg/dL, or None while the prediction window is warming up.
+    verdicts:
+        Per-detector streaming verdicts for this measurement.
+    attacked:
+        True when the delivered sample differs from the benign one (set by
+        the replayer / caller that did the tampering).
+    """
+
+    session_id: str
+    tick: int
+    sample: np.ndarray
+    prediction: Optional[float]
+    verdicts: Dict[str, StreamVerdict] = field(default_factory=dict)
+    attacked: bool = False
+
+
+class PatientSession:
+    """One live patient stream attached to a scheduler lane.
+
+    Parameters
+    ----------
+    session_id:
+        Unique id within the scheduler (defaults to the patient label).
+    patient_label:
+        The patient this stream belongs to.
+    predictor:
+        The fitted forecaster serving this stream (personalized or aggregate).
+    detectors:
+        Optional ``{name: StreamingDetector}`` monitors fed every delivered
+        sample.  Adapters are per-session (they hold per-stream rings) but may
+        share their underlying fitted detector object — the scheduler batches
+        detector queries across sessions sharing one.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        patient_label: str,
+        predictor: GlucosePredictor,
+        detectors: Optional[Mapping[str, StreamingDetector]] = None,
+    ):
+        self.session_id = str(session_id)
+        self.patient_label = str(patient_label)
+        self.predictor = predictor
+        self.detectors: Dict[str, StreamingDetector] = dict(detectors or {})
+        self.history = int(predictor.history)
+        self.ticks = 0
+        self.last_prediction: Optional[float] = None
+
+        self._ring = SampleRing(self.history)
+
+        # Scheduler wiring (set by StreamScheduler.open_session).
+        self._scheduler = None
+        self._lane_key: Optional[str] = None
+        self._slot: Optional[int] = None
+
+    # ------------------------------------------------------------------ wiring
+    def _attach(self, scheduler, lane_key: str, slot: int) -> None:
+        self._scheduler = scheduler
+        self._lane_key = lane_key
+        self._slot = slot
+
+    @property
+    def slot(self) -> Optional[int]:
+        """This session's row in its lane's stacked recurrent state."""
+        return self._slot
+
+    @property
+    def lane_key(self) -> Optional[str]:
+        """Hash of the model (weights + scaler) this session is served by."""
+        return self._lane_key
+
+    # ----------------------------------------------------------------- history
+    def _push_raw(self, sample: np.ndarray) -> None:
+        """Record a delivered sample in the fixed-size history ring."""
+        self._ring.push(sample)
+
+    def window(self) -> Optional[np.ndarray]:
+        """The last ``history`` delivered samples in time order, or None."""
+        return self._ring.window()
+
+    def context_window(self, incoming: np.ndarray) -> Optional[np.ndarray]:
+        """The window the model *would* see if ``incoming`` were delivered now.
+
+        The last ``history - 1`` delivered samples plus the incoming one —
+        the context an online attacker manipulates before delivery.  None
+        while fewer than ``history - 1`` samples have been delivered.
+        """
+        return self._ring.tail_with(incoming)
+
+    # ----------------------------------------------------------------- ticking
+    def update(self, sample: np.ndarray) -> SessionTick:
+        """Deliver one sample through the owning scheduler (single-session tick)."""
+        if self._scheduler is None:
+            raise RuntimeError(
+                "session is not attached to a scheduler; create it via "
+                "StreamScheduler.open_session"
+            )
+        return self._scheduler.tick({self.session_id: sample})[self.session_id]

@@ -11,6 +11,7 @@ from repro.utils.validation import (
 from repro.utils.timeseries import (
     StandardScaler,
     MinMaxScaler,
+    SampleRing,
     sliding_windows,
     supervised_windows,
     train_test_split_sequential,
@@ -28,6 +29,7 @@ __all__ = [
     "ensure_2d",
     "StandardScaler",
     "MinMaxScaler",
+    "SampleRing",
     "sliding_windows",
     "supervised_windows",
     "train_test_split_sequential",

@@ -74,6 +74,73 @@ class MinMaxScaler:
         return unit * span + self.min_
 
 
+class SampleRing:
+    """Fixed-capacity ring of the most recent samples of one stream.
+
+    The O(1)-memory building block of the streaming serving layer: pushing a
+    sample overwrites the oldest entry, and :meth:`window` returns the
+    buffered history in time order.  The feature width is taken from the
+    first pushed sample.
+    """
+
+    __slots__ = ("capacity", "_buffer", "_cursor", "_count")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._buffer: Optional[np.ndarray] = None
+        self._cursor = 0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of valid buffered samples (at most ``capacity``)."""
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count == self.capacity
+
+    def push(self, sample: np.ndarray) -> None:
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 1:
+            raise ValueError(f"sample must be a 1-D feature vector, got shape {sample.shape}")
+        if self._buffer is None:
+            self._buffer = np.zeros((self.capacity, len(sample)))
+        self._buffer[self._cursor] = sample
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+
+    def _ordered(self, length: int) -> np.ndarray:
+        start = self._cursor + self.capacity - length
+        order = (start + np.arange(length)) % self.capacity
+        return self._buffer[order]
+
+    def window(self) -> Optional[np.ndarray]:
+        """The full ``(capacity, features)`` history in time order, or None."""
+        if not self.full:
+            return None
+        return self._ordered(self.capacity).copy()
+
+    def tail_with(self, incoming: np.ndarray) -> Optional[np.ndarray]:
+        """The window formed by the last ``capacity - 1`` samples plus ``incoming``.
+
+        None until ``capacity - 1`` samples have been buffered.
+        """
+        if self._count < self.capacity - 1:
+            return None
+        incoming = np.asarray(incoming, dtype=np.float64)
+        if self.capacity == 1:
+            return incoming[np.newaxis].copy()
+        return np.vstack([self._ordered(self.capacity - 1), incoming[np.newaxis]])
+
+    def reset(self) -> None:
+        self._buffer = None
+        self._cursor = 0
+        self._count = 0
+
+
 def sliding_windows(series, window: int, step: int = 1) -> np.ndarray:
     """Extract overlapping windows from a (possibly multivariate) series.
 

@@ -306,6 +306,56 @@ class TestCohortBatchedCampaign:
             predictor.predict = original_predict
         assert merged_calls < per_patient_calls
 
+    def test_separately_loaded_copies_merge_into_one_group(self, aggregate_zoo, tiny_cohort):
+        # A fresh predictor object loaded from the aggregate's checkpoint
+        # (weights + scaler) must land in the same lockstep group: grouping is
+        # by state_hash, not object identity.
+        import copy
+
+        from repro.glucose import GlucoseModelZoo
+        from repro.glucose.predictor import GlucosePredictor
+
+        aggregate = aggregate_zoo.aggregate
+        clone = GlucosePredictor(hidden_size=8)
+        clone.load_state_dict(aggregate.state_dict())
+        clone.scaler = copy.deepcopy(aggregate.scaler)
+        assert clone is not aggregate
+        assert clone.state_hash() == aggregate.state_hash()
+
+        zoo = GlucoseModelZoo(dataset=aggregate_zoo.dataset)
+        zoo.models = dict(aggregate_zoo.models)
+        first_label = next(iter(tiny_cohort)).label
+        zoo.models[first_label] = clone  # this patient now uses the loaded copy
+
+        factory_calls = []
+
+        def counting_factory(predictor):
+            factory_calls.append(predictor)
+            return EvasionAttack(predictor)
+
+        merged = AttackCampaign(
+            zoo, stride=12, cohort_batched=True, attack_factory=counting_factory
+        ).run_cohort(tiny_cohort, "test")
+        assert len(factory_calls) == 1  # one group despite two predictor objects
+
+        per_patient = AttackCampaign(zoo, stride=12, cohort_batched=False).run_cohort(
+            tiny_cohort, "test"
+        )
+        self._assert_campaigns_equal(merged, per_patient)
+
+    def test_different_weights_stay_in_separate_groups(self, tiny_zoo, tiny_cohort):
+        factory_calls = []
+
+        def counting_factory(predictor):
+            factory_calls.append(predictor)
+            return EvasionAttack(predictor)
+
+        AttackCampaign(
+            tiny_zoo, stride=12, cohort_batched=True, attack_factory=counting_factory
+        ).run_cohort(tiny_cohort, "test")
+        # Personalized zoo: every patient has its own weights, so no merging.
+        assert len(factory_calls) == len(tiny_cohort)
+
     def test_sequential_campaign_ignores_cohort_batching(self, tiny_zoo, tiny_cohort):
         campaign = AttackCampaign(tiny_zoo, stride=12, batched=False, cohort_batched=True)
         assert campaign.cohort_batched  # explicit flag kept, but batched=False wins

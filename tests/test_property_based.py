@@ -133,6 +133,38 @@ class TestConstraintBatchProperties:
         for index, candidate in enumerate(candidates):
             assert bool(mask[index]) == constraint.is_satisfied(candidate, original)
 
+    @given(feature_windows, st.integers(0, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_max_modified_project_batch_matches_scalar(self, candidates, max_modified):
+        constraint = MaxModifiedSamplesConstraint(max_modified=max_modified)
+        original = candidates[-1]
+        projected = constraint.project_batch(candidates, original)
+        assert projected.shape == candidates.shape
+        for index, candidate in enumerate(candidates):
+            np.testing.assert_array_equal(
+                projected[index], constraint.project(candidate, original)
+            )
+        # Projection always lands in the admissible set.
+        assert constraint.satisfied_mask(projected, original).all()
+
+    @given(feature_windows, st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_max_modified_project_batch_reverts_oldest_first(self, candidates, max_modified):
+        constraint = MaxModifiedSamplesConstraint(max_modified=max_modified)
+        original = candidates[-1]
+        projected = constraint.project_batch(candidates, original)
+        # Surviving modifications must be the *latest* ones: every modified
+        # sample in the projection is at least as recent as any reverted one.
+        for index, candidate in enumerate(candidates):
+            before = np.where(
+                np.abs(candidate[:, 0] - original[:, 0]) > constraint.tolerance
+            )[0]
+            after = np.where(
+                np.abs(projected[index][:, 0] - original[:, 0]) > constraint.tolerance
+            )[0]
+            assert len(after) <= max_modified
+            assert set(after) == set(before[len(before) - len(after) :])
+
 
 class TestTensorProperties:
     @given(small_matrices)

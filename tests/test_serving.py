@@ -1,0 +1,557 @@
+"""Stream/offline parity harness for the serving subsystem.
+
+Every streaming fast path is pinned to its offline reference:
+
+* ``LSTM.step`` / ``BiLSTM.step`` vs ``fast_forward`` at the layer level,
+* ``GlucosePredictor.predict_stream`` / ``step_stream`` vs ``predict`` and
+  ``predict_graph`` (≤ 1e-10) across strides, warm-up offsets, and scheduler
+  batch sizes,
+* streaming detector verdicts vs the offline ``predict`` on the same windows,
+* the whole stack under an online attack via ``scripts/check_parity.py``'s
+  serving smoke (tier-1 tripwire).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.cohort import CGM_COLUMN
+from repro.detectors import KNNDistanceDetector, StreamingDetector
+from repro.nn import BiLSTM, LSTM
+from repro.serving import (
+    AttackEpisode,
+    OnlineAttacker,
+    StreamReplayer,
+    StreamScheduler,
+)
+
+TOLERANCE = 1e-10
+
+
+@pytest.fixture(scope="module")
+def aggregate_zoo(tiny_cohort):
+    """Aggregate-only zoo: every patient shares one model (one serving lane)."""
+    from repro.glucose import GlucoseModelZoo
+
+    zoo = GlucoseModelZoo(
+        predictor_kwargs=dict(epochs=1, hidden_size=8),
+        train_personalized=False,
+        seed=5,
+    )
+    zoo.fit(tiny_cohort)
+    return zoo
+
+
+@pytest.fixture(scope="module")
+def sample_detector(tiny_zoo, tiny_cohort):
+    """A fitted, deterministic per-sample detector shared by the tests."""
+    windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+    return KNNDistanceDetector(n_neighbors=5).fit(windows[::4, -1:, :])
+
+
+# ---------------------------------------------------------------------- layers
+class TestLayerStreaming:
+    def test_lstm_step_matches_fast_forward_prefix(self, rng):
+        layer = LSTM(4, 6, seed=1)
+        sequence = rng.normal(size=(3, 15, 4))
+        state = layer.stream_state(3)
+        for tick in range(15):
+            hidden = layer.step(sequence[:, tick, :], state)
+            reference = layer.fast_forward(sequence[:, : tick + 1, :])
+            np.testing.assert_allclose(hidden, reference, atol=TOLERANCE)
+        assert state.ticks == 15
+
+    def test_lstm_stream_state_reset(self, rng):
+        layer = LSTM(4, 6, seed=1)
+        sequence = rng.normal(size=(2, 5, 4))
+        state = layer.stream_state(2)
+        for tick in range(5):
+            layer.step(sequence[:, tick, :], state)
+        state.reset()
+        hidden = layer.step(sequence[:, 0, :], state)
+        np.testing.assert_allclose(
+            hidden, layer.fast_forward(sequence[:, :1, :]), atol=TOLERANCE
+        )
+
+    def test_reverse_lstm_refuses_streaming(self):
+        layer = LSTM(4, 6, reverse=True, seed=1)
+        with pytest.raises(ValueError, match="reverse"):
+            layer.stream_state(1)
+
+    def test_bilstm_ring_matches_fast_forward_window(self, rng):
+        layer = BiLSTM(4, 6, seed=2)
+        sequence = rng.normal(size=(2, 18, 4))
+        state = layer.stream_state(2, capacity=7)
+        for tick in range(18):
+            output = layer.step(sequence[:, tick, :], state)
+            if tick < 6:
+                assert np.isnan(output).all()
+            else:
+                reference = layer.fast_forward(sequence[:, tick - 6 : tick + 1, :])
+                np.testing.assert_allclose(output, reference, atol=TOLERANCE)
+
+    def test_bilstm_partial_rows_leave_other_streams_untouched(self, rng):
+        layer = BiLSTM(3, 5, seed=3)
+        state = layer.stream_state(2, capacity=4)
+        histories = {0: [], 1: []}
+        schedule = [(0, 1), (0,), (0, 1), (0, 1), (1,), (0, 1), (0, 1), (0, 1)]
+        for tick, rows in enumerate(schedule):
+            samples = rng.normal(size=(len(rows), 3))
+            output = layer.step(samples, state, rows=np.array(rows))
+            for position, row in enumerate(rows):
+                histories[row].append(samples[position])
+                if len(histories[row]) >= 4:
+                    reference = layer.fast_forward(
+                        np.stack(histories[row][-4:])[np.newaxis]
+                    )
+                    np.testing.assert_allclose(
+                        output[position], reference[0], atol=TOLERANCE
+                    )
+
+    def test_bilstm_state_grow_preserves_existing_rings(self, rng):
+        layer = BiLSTM(3, 5, seed=4)
+        state = layer.stream_state(1, capacity=3)
+        history = [rng.normal(size=3) for _ in range(3)]
+        for sample in history:
+            layer.step(sample[np.newaxis], state, rows=np.array([0]))
+        state.grow(5)
+        assert state.n_streams == 5
+        new_sample = rng.normal(size=3)
+        output = layer.step(new_sample[np.newaxis], state, rows=np.array([0]))
+        reference = layer.fast_forward(np.stack(history[-2:] + [new_sample])[np.newaxis])
+        np.testing.assert_allclose(output[0], reference[0], atol=TOLERANCE)
+
+    def test_sequence_bilstm_refuses_streaming(self):
+        layer = BiLSTM(3, 5, return_sequences=True, seed=5)
+        with pytest.raises(ValueError, match="return_sequences"):
+            layer.stream_state(1, capacity=4)
+
+
+# ------------------------------------------------------------------- predictor
+class TestPredictorStreaming:
+    def test_predict_stream_matches_offline_paths(self, tiny_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        predictor = tiny_zoo.model_for(record.label)
+        features = record.features("test")[:80]
+        windows, _, _ = tiny_zoo.dataset.windows_from_features(features)
+
+        streamed = predictor.predict_stream(features)
+        history = predictor.history
+        assert np.isnan(streamed[: history - 1]).all()
+        aligned = streamed[history - 1 : history - 1 + len(windows)]
+        np.testing.assert_allclose(aligned, predictor.predict(windows), atol=TOLERANCE)
+        np.testing.assert_allclose(
+            aligned, predictor.predict_graph(windows), atol=TOLERANCE
+        )
+
+    @pytest.mark.parametrize("stride", [1, 4, 9])
+    def test_predict_stream_parity_across_strides(self, stride, tiny_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        predictor = tiny_zoo.model_for(record.label)
+        features = record.features("test")[:70]
+        windows, _, _ = tiny_zoo.dataset.windows_from_features(features)
+        strided = windows[::stride]
+        streamed = predictor.predict_stream(features)
+        history = predictor.history
+        aligned = streamed[history - 1 : history - 1 + len(windows)][::stride]
+        np.testing.assert_allclose(aligned, predictor.predict(strided), atol=TOLERANCE)
+
+    @pytest.mark.parametrize("offset", [0, 3, 11])
+    def test_predict_stream_parity_across_warmup_offsets(
+        self, offset, tiny_zoo, tiny_cohort
+    ):
+        # Starting the stream mid-trace must not change which window each
+        # prediction corresponds to.
+        record = next(iter(tiny_cohort))
+        predictor = tiny_zoo.model_for(record.label)
+        features = record.features("test")[offset : offset + 50]
+        windows, _, _ = tiny_zoo.dataset.windows_from_features(features)
+        streamed = predictor.predict_stream(features)
+        history = predictor.history
+        aligned = streamed[history - 1 : history - 1 + len(windows)]
+        np.testing.assert_allclose(aligned, predictor.predict(windows), atol=TOLERANCE)
+
+    def test_step_stream_serves_concurrent_streams(self, tiny_zoo, tiny_cohort):
+        records = list(tiny_cohort)
+        predictor = tiny_zoo.model_for(records[0].label)
+        traces = [record.features("test")[:50] for record in records]
+        state = predictor.stream_state(len(traces))
+        collected = np.full((50, len(traces)), np.nan)
+        for tick in range(50):
+            samples = np.stack([trace[tick] for trace in traces])
+            collected[tick] = predictor.step_stream(samples, state)
+        history = predictor.history
+        for column, trace in enumerate(traces):
+            windows, _, _ = tiny_zoo.dataset.windows_from_features(trace)
+            np.testing.assert_allclose(
+                collected[history - 1 : history - 1 + len(windows), column],
+                predictor.predict(windows),
+                atol=TOLERANCE,
+            )
+
+    def test_step_stream_rejects_bad_shapes(self, tiny_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        predictor = tiny_zoo.model_for(record.label)
+        state = predictor.stream_state(1)
+        with pytest.raises(ValueError, match="shape"):
+            predictor.step_stream(np.zeros((1, 2)), state)
+
+    def test_state_hash_distinguishes_weights_and_scaler(self, tiny_zoo, tiny_cohort):
+        labels = [record.label for record in tiny_cohort]
+        first = tiny_zoo.model_for(labels[0])
+        second = tiny_zoo.model_for(labels[1])
+        assert first.state_hash() == first.state_hash()
+        assert first.state_hash() != second.state_hash()  # different weights
+
+
+# ------------------------------------------------------------------- scheduler
+class TestStreamScheduler:
+    def test_sessions_sharing_weights_share_a_lane(self, aggregate_zoo, tiny_cohort):
+        scheduler = StreamScheduler()
+        for record in tiny_cohort:
+            scheduler.open_session(record.label, aggregate_zoo.model_for(record.label))
+        assert scheduler.n_sessions == len(tiny_cohort)
+        assert scheduler.n_lanes == 1  # every patient uses the aggregate model
+
+    def test_personalized_models_get_separate_lanes(self, tiny_zoo, tiny_cohort):
+        scheduler = StreamScheduler()
+        for record in tiny_cohort:
+            scheduler.open_session(record.label, tiny_zoo.model_for(record.label))
+        assert scheduler.n_lanes == len(tiny_cohort)
+
+    def test_one_model_step_per_lane_per_tick(self, aggregate_zoo, tiny_cohort):
+        scheduler = StreamScheduler()
+        records = list(tiny_cohort)
+        for record in records:
+            scheduler.open_session(record.label, aggregate_zoo.model_for(record.label))
+        predictor = aggregate_zoo.aggregate
+        calls = []
+        original = predictor.step_stream
+        predictor.step_stream = lambda *args, **kwargs: (
+            calls.append(1),
+            original(*args, **kwargs),
+        )[1]
+        try:
+            scheduler.tick(
+                {record.label: record.features("test")[0] for record in records}
+            )
+        finally:
+            predictor.step_stream = original
+        assert calls == [1]  # one stacked call for the whole cohort
+
+    @pytest.mark.parametrize("n_sessions", [1, 3, 7])
+    def test_scheduler_parity_across_batch_sizes(
+        self, n_sessions, aggregate_zoo, tiny_cohort
+    ):
+        records = list(tiny_cohort)
+        traces = [
+            records[index % len(records)].features("test")[:40]
+            for index in range(n_sessions)
+        ]
+        scheduler = StreamScheduler()
+        sessions = [
+            scheduler.open_session(
+                records[index % len(records)].label,
+                aggregate_zoo.model_for(records[index % len(records)].label),
+                session_id=f"s{index}",
+            )
+            for index in range(n_sessions)
+        ]
+        collected = [[] for _ in range(n_sessions)]
+        for tick in range(40):
+            outcomes = scheduler.tick(
+                {f"s{index}": traces[index][tick] for index in range(n_sessions)}
+            )
+            for index in range(n_sessions):
+                collected[index].append(outcomes[f"s{index}"].prediction)
+        predictor = aggregate_zoo.aggregate
+        history = predictor.history
+        for index, trace in enumerate(traces):
+            windows, _, _ = aggregate_zoo.dataset.windows_from_features(trace)
+            streamed = np.array(
+                collected[index][history - 1 : history - 1 + len(windows)], dtype=float
+            )
+            np.testing.assert_allclose(streamed, predictor.predict(windows), atol=TOLERANCE)
+        assert all(session.last_prediction is not None for session in sessions)
+
+    def test_missed_ticks_do_not_corrupt_other_streams(self, aggregate_zoo, tiny_cohort):
+        records = list(tiny_cohort)[:2]
+        traces = {record.label: record.features("test")[:40] for record in records}
+        scheduler = StreamScheduler()
+        for record in records:
+            scheduler.open_session(record.label, aggregate_zoo.model_for(record.label))
+        # The second stream misses every third transmission slot.
+        consumed = {record.label: [] for record in records}
+        positions = {record.label: 0 for record in records}
+        predictions = {record.label: [] for record in records}
+        for tick in range(40):
+            samples = {}
+            for index, record in enumerate(records):
+                if index == 1 and tick % 3 == 2:
+                    continue
+                label = record.label
+                samples[label] = traces[label][positions[label]]
+                consumed[label].append(traces[label][positions[label]])
+                positions[label] += 1
+            outcomes = scheduler.tick(samples)
+            for label, outcome in outcomes.items():
+                predictions[label].append(outcome.prediction)
+        predictor = aggregate_zoo.aggregate
+        history = predictor.history
+        for record in records:
+            label = record.label
+            windows, _, _ = aggregate_zoo.dataset.windows_from_features(
+                np.stack(consumed[label])
+            )
+            streamed = np.array(
+                predictions[label][history - 1 : history - 1 + len(windows)], dtype=float
+            )
+            np.testing.assert_allclose(streamed, predictor.predict(windows), atol=TOLERANCE)
+
+    def test_closed_session_slot_is_recycled(self, aggregate_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        predictor = aggregate_zoo.model_for(record.label)
+        features = record.features("test")[:30]
+        scheduler = StreamScheduler()
+        first = scheduler.open_session(record.label, predictor, session_id="first")
+        for tick in range(15):
+            scheduler.tick({"first": features[tick]})
+        slot = first.slot
+        scheduler.close_session("first")
+        assert scheduler.n_sessions == 0
+        second = scheduler.open_session(record.label, predictor, session_id="second")
+        assert second.slot == slot  # recycled, and must start cold
+        predictions = [
+            scheduler.tick({"second": features[tick]})["second"].prediction
+            for tick in range(30)
+        ]
+        history = predictor.history
+        windows, _, _ = aggregate_zoo.dataset.windows_from_features(features)
+        streamed = np.array(predictions[history - 1 : history - 1 + len(windows)], dtype=float)
+        np.testing.assert_allclose(streamed, predictor.predict(windows), atol=TOLERANCE)
+
+    def test_duplicate_session_id_rejected(self, aggregate_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        scheduler = StreamScheduler()
+        scheduler.open_session(record.label, aggregate_zoo.model_for(record.label))
+        with pytest.raises(ValueError, match="already exists"):
+            scheduler.open_session(record.label, aggregate_zoo.model_for(record.label))
+
+
+# ----------------------------------------------------------- streaming verdicts
+class TestStreamingDetector:
+    def test_sample_unit_matches_offline_predict(self, sample_detector, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        features = record.features("test")[:40]
+        adapter = StreamingDetector(sample_detector, unit="sample")
+        streamed = [adapter.update(sample).flagged for sample in features]
+        offline = sample_detector.predict(features[:, np.newaxis, :])
+        assert streamed == [bool(flag) for flag in offline]
+
+    def test_window_unit_matches_offline_predict(self, tiny_zoo, tiny_cohort):
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        detector = KNNDistanceDetector(n_neighbors=5).fit(windows[::4])
+        record = next(iter(tiny_cohort))
+        features = record.features("test")[:40]
+        adapter = StreamingDetector(detector, unit="window", history=12)
+        verdicts = [adapter.update(sample) for sample in features]
+        assert all(verdict.warming for verdict in verdicts[:11])
+        trace_windows, _, _ = tiny_zoo.dataset.windows_from_features(features)
+        # window i ends at sample i + 11 -> verdict at tick i + 11
+        offline = detector.predict(trace_windows)
+        streamed = [verdicts[index + 11].flagged for index in range(len(trace_windows))]
+        assert streamed == [bool(flag) for flag in offline]
+
+    def test_include_scores(self, sample_detector, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        sample = record.features("test")[0]
+        adapter = StreamingDetector(sample_detector, unit="sample", include_scores=True)
+        verdict = adapter.update(sample)
+        offline_score = float(sample_detector.scores(sample[np.newaxis, np.newaxis, :])[0])
+        assert verdict.score == pytest.approx(offline_score)
+
+    def test_reset_restarts_warmup(self, tiny_zoo, tiny_cohort):
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        detector = KNNDistanceDetector(n_neighbors=5).fit(windows[::8])
+        record = next(iter(tiny_cohort))
+        features = record.features("test")[:15]
+        adapter = StreamingDetector(detector, unit="window", history=12)
+        for sample in features:
+            adapter.update(sample)
+        adapter.reset()
+        assert adapter.update(features[0]).warming
+
+
+# --------------------------------------------------------- attacked-stream parity
+class TestAttackedStreamParity:
+    @pytest.fixture(scope="class")
+    def attacked_replay(self, aggregate_zoo, tiny_cohort, sample_detector):
+        labels = [record.label for record in tiny_cohort]
+        attacker = OnlineAttacker(
+            {
+                labels[0]: [AttackEpisode(start=20, duration=10)],
+                labels[1]: [AttackEpisode(start=15, duration=8), AttackEpisode(start=40, duration=6)],
+            }
+        )
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            detectors={"knn": (sample_detector, "sample")},
+            attacker=attacker,
+        )
+        report = replayer.replay(tiny_cohort, split="test", max_ticks=60)
+        return attacker, report
+
+    def test_attacker_tampers_only_cgm_during_episodes(
+        self, attacked_replay, tiny_cohort
+    ):
+        attacker, report = attacked_replay
+        assert attacker.records, "no tampering happened"
+        for record in tiny_cohort:
+            trace = report.sessions[record.label]
+            benign = record.features("test")[:60]
+            episodes = attacker.episodes.get(record.label, [])
+            for outcome in trace.ticks:
+                delivered = outcome.sample
+                non_cgm = np.delete(delivered, CGM_COLUMN)
+                np.testing.assert_array_equal(
+                    non_cgm, np.delete(benign[outcome.tick], CGM_COLUMN)
+                )
+                if outcome.attacked:
+                    assert any(episode.covers(outcome.tick) for episode in episodes)
+
+    def test_streamed_predictions_match_offline_on_delivered_stream(
+        self, attacked_replay, aggregate_zoo, tiny_cohort
+    ):
+        _, report = attacked_replay
+        predictor = aggregate_zoo.aggregate
+        history = predictor.history
+        for record in tiny_cohort:
+            trace = report.sessions[record.label]
+            delivered = np.stack([outcome.sample for outcome in trace.ticks])
+            windows, _, _ = aggregate_zoo.dataset.windows_from_features(delivered)
+            streamed = trace.predictions()[history - 1 : history - 1 + len(windows)]
+            np.testing.assert_allclose(streamed, predictor.predict(windows), atol=TOLERANCE)
+
+    def test_streaming_verdicts_match_offline_on_delivered_stream(
+        self, attacked_replay, sample_detector, tiny_cohort
+    ):
+        _, report = attacked_replay
+        for record in tiny_cohort:
+            trace = report.sessions[record.label]
+            delivered = np.stack([outcome.sample for outcome in trace.ticks])
+            offline = sample_detector.predict(delivered[:, np.newaxis, :])
+            streamed = [outcome.verdicts["knn"].flagged for outcome in trace.ticks]
+            assert streamed == [bool(flag) for flag in offline]
+
+    def test_tamper_records_are_consistent_with_traces(self, attacked_replay):
+        attacker, report = attacked_replay
+        tampered_by_session = {
+            session_id: set(trace.attacked_ticks)
+            for session_id, trace in report.sessions.items()
+        }
+        recorded = {}
+        for record in attacker.records:
+            recorded.setdefault(record.session_id, set()).add(record.tick)
+            assert record.delivered_cgm != pytest.approx(record.benign_cgm)
+        assert recorded == {
+            session_id: ticks
+            for session_id, ticks in tampered_by_session.items()
+            if ticks
+        }
+
+    def test_episode_outcomes_cover_every_episode(self, attacked_replay):
+        attacker, report = attacked_replay
+        expected = sum(len(episodes) for episodes in attacker.episodes.values())
+        outcomes = report.episode_outcomes("knn")
+        assert len(outcomes) == expected
+        for outcome in outcomes:
+            if outcome.detected:
+                assert outcome.episode.covers(outcome.first_flag_tick)
+                assert outcome.latency_ticks >= 0
+            else:
+                assert outcome.first_flag_tick is None
+
+    def test_multi_sample_search_records_realized_success(
+        self, aggregate_zoo, tiny_cohort
+    ):
+        # With max_tampered_per_tick > 1 the search may exploit rewriting
+        # already-delivered samples, but only the final sample is delivered;
+        # TamperRecord.success must describe the realized (delivered) window.
+        from repro.glucose.states import hyperglycemia_threshold
+
+        label = next(iter(tiny_cohort)).label
+        attacker = OnlineAttacker(
+            {label: [AttackEpisode(start=20, duration=8)]}, max_tampered_per_tick=2
+        )
+        replayer = StreamReplayer(aggregate_zoo, attacker=attacker)
+        report = replayer.replay(
+            tiny_cohort.select([label]), split="test", max_ticks=40
+        )
+        assert attacker.records
+        delivered = np.stack(
+            [outcome.sample for outcome in report.sessions[label].ticks]
+        )
+        predictor = aggregate_zoo.aggregate
+        history = predictor.history
+        for record in attacker.records:
+            if not record.eligible:
+                continue
+            window = delivered[record.tick - history + 1 : record.tick + 1]
+            realized = float(predictor.predict(window[np.newaxis])[0])
+            assert record.success == (
+                realized > hyperglycemia_threshold(record.scenario)
+            )
+
+    def test_replay_closes_sessions_on_failure(self, aggregate_zoo, tiny_cohort):
+        # A mid-replay failure must not leak sessions into a BYO scheduler.
+        class ExplodingAttacker(OnlineAttacker):
+            def intercept(self, items):
+                if any(session.ticks >= 5 for session, _, _ in items):
+                    raise RuntimeError("boom")
+                return super().intercept(items)
+
+        scheduler = StreamScheduler()
+        replayer = StreamReplayer(
+            aggregate_zoo, attacker=ExplodingAttacker({}), scheduler=scheduler
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            replayer.replay(tiny_cohort, split="test", max_ticks=20)
+        assert scheduler.n_sessions == 0
+        # The scheduler is reusable afterwards.
+        replayer_ok = StreamReplayer(aggregate_zoo, scheduler=scheduler)
+        report = replayer_ok.replay(tiny_cohort, split="test", max_ticks=20)
+        assert scheduler.n_sessions == 0
+        assert all(trace.n_ticks == 20 for trace in report.sessions.values())
+
+    def test_confusion_and_breakdown_account_every_tick(self, attacked_replay):
+        _, report = attacked_replay
+        matrix = report.confusion("knn")
+        total_ticks = sum(trace.n_ticks for trace in report.sessions.values())
+        assert matrix.total == total_ticks  # sample unit: no warm-up ticks
+        breakdown = report.trace_breakdown("knn")
+        tampered = sum(len(trace.attacked_ticks) for trace in report.sessions.values())
+        assert (
+            sum(counts["true_positives"] + counts["false_negatives"] for counts in breakdown.values())
+            == tampered
+        )
+
+
+# ------------------------------------------------------------------ tier-1 wire
+class TestServingSmoke:
+    """Wire scripts/check_parity.py's serving smoke into the tier-1 flow."""
+
+    @pytest.fixture(scope="class")
+    def check_parity(self):
+        path = Path(__file__).resolve().parents[1] / "scripts" / "check_parity.py"
+        spec = importlib.util.spec_from_file_location("check_parity_serving", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_serving_smoke_passes(self, check_parity, tiny_zoo, tiny_cohort):
+        report = check_parity.run_serving_smoke(tiny_zoo, tiny_cohort, n_ticks=50)
+        assert report["max_stream_gap"] <= check_parity.PREDICTION_TOLERANCE
+        assert report["tampered_ticks"] > 0
+        assert report["n_sessions"] == len(tiny_cohort)

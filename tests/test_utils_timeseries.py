@@ -5,6 +5,7 @@ import pytest
 
 from repro.utils.timeseries import (
     MinMaxScaler,
+    SampleRing,
     StandardScaler,
     autocorrelation,
     exponential_moving_average,
@@ -152,3 +153,62 @@ class TestSplitAndSmoothing:
     def test_autocorrelation_constant_series(self):
         result = autocorrelation(np.ones(10), max_lag=3)
         np.testing.assert_array_equal(result[1:], 0.0)
+
+
+class TestSampleRing:
+    def test_window_none_until_full_then_time_ordered(self):
+        ring = SampleRing(3)
+        samples = [np.array([float(i), 10.0 * i]) for i in range(5)]
+        for index, sample in enumerate(samples):
+            ring.push(sample)
+            if index < 2:
+                assert ring.window() is None
+                assert not ring.full
+            else:
+                np.testing.assert_array_equal(
+                    ring.window(), np.stack(samples[index - 2 : index + 1])
+                )
+
+    def test_tail_with_prepends_recent_history(self):
+        ring = SampleRing(3)
+        assert ring.tail_with(np.zeros(2)) is None
+        ring.push(np.array([1.0, 1.0]))
+        assert ring.tail_with(np.zeros(2)) is None
+        ring.push(np.array([2.0, 2.0]))
+        tail = ring.tail_with(np.array([9.0, 9.0]))
+        np.testing.assert_array_equal(
+            tail, np.array([[1.0, 1.0], [2.0, 2.0], [9.0, 9.0]])
+        )
+        # After wrapping, tail keeps only the newest capacity-1 samples.
+        for value in (3.0, 4.0, 5.0):
+            ring.push(np.array([value, value]))
+        tail = ring.tail_with(np.array([9.0, 9.0]))
+        np.testing.assert_array_equal(
+            tail, np.array([[4.0, 4.0], [5.0, 5.0], [9.0, 9.0]])
+        )
+
+    def test_capacity_one(self):
+        ring = SampleRing(1)
+        np.testing.assert_array_equal(
+            ring.tail_with(np.array([7.0])), np.array([[7.0]])
+        )
+        ring.push(np.array([3.0]))
+        np.testing.assert_array_equal(ring.window(), np.array([[3.0]]))
+
+    def test_window_returns_copy(self):
+        ring = SampleRing(2)
+        ring.push(np.array([1.0]))
+        ring.push(np.array([2.0]))
+        window = ring.window()
+        window[:] = -1.0
+        np.testing.assert_array_equal(ring.window(), np.array([[1.0], [2.0]]))
+
+    def test_reset_and_validation(self):
+        ring = SampleRing(2)
+        ring.push(np.array([1.0]))
+        ring.reset()
+        assert ring.count == 0
+        with pytest.raises(ValueError):
+            SampleRing(0)
+        with pytest.raises(ValueError):
+            ring.push(np.zeros((2, 2)))
