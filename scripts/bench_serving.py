@@ -19,6 +19,17 @@ against the offline fast path).  A short attacked replay additionally checks
 that streaming detector verdicts equal the offline ``predict`` on the same
 delivered measurements.
 
+Two additional configurations cover the streaming hot path's v2 targets:
+
+* ``single_session`` — the 1-session entry must reach at least parity
+  (>= 1.0x) with the naive loop: the scheduler's slim single-session fast
+  path bypasses the lane stacking that has nothing to batch.
+* ``incremental_scoring`` — per-tick MAD-GAN window scoring at 64 sessions,
+  cold (``scores``: full generator inversion from a fresh latent every tick)
+  vs warm (``scores_incremental``: inversion warm-started from each stream's
+  previous-tick latent).  Steady-state per-tick cost must drop by >= 3x with
+  warm-vs-cold verdicts identical on every tick and the DR score gap bounded.
+
 Writes ``BENCH_serving.json`` next to the repo root.  Usage::
 
     PYTHONPATH=src python scripts/bench_serving.py [--output PATH] [--repeats N]
@@ -52,7 +63,22 @@ ZOO_KWARGS = dict(
 SESSION_CONFIGS = {1: 120, 64: 60, 1024: 20}
 
 TARGET_SPEEDUP_AT_64 = 5.0
+TARGET_SINGLE_SESSION = 1.0
 TOLERANCE = 1e-10
+
+#: Incremental MAD-GAN scoring configuration (64 streams, steady state).
+MADGAN_KWARGS = dict(
+    epochs=5, hidden_size=12, inversion_steps=40, warm_inversion_steps=10, seed=0
+)
+INCREMENTAL_SESSIONS = 64
+INCREMENTAL_WARMUP_TICKS = 3
+INCREMENTAL_TICKS = 10
+TARGET_INCREMENTAL_SPEEDUP = 3.0
+#: Warm-vs-cold DR score tolerance: the warm path must stay within this
+#: absolute gap of a cold rescore (the fixture's decision threshold is ~4.3,
+#: so verdicts cannot flip inside this band).
+INCREMENTAL_SCORE_TOLERANCE = 0.5
+INCREMENTAL_RNG_SEED = 123
 
 
 def build_fixture():
@@ -120,6 +146,11 @@ def bench_session_count(zoo, cohort, n_sessions: int, ticks: int, repeats: int):
     warmup = predictor.history
     traces = session_traces(cohort, n_sessions, warmup + ticks)
 
+    if n_sessions == 1:
+        # The single-session gate is a hard >= 1.0x floor on two sub-ms
+        # timings; extra best-of repetitions keep scheduler noise from
+        # failing the run on loaded machines (each pass is only ~50 ms).
+        repeats = repeats * 3
     baseline_best = float("inf")
     streamed_best = float("inf")
     baseline_preds = streamed_preds = None
@@ -141,6 +172,110 @@ def bench_session_count(zoo, cohort, n_sessions: int, ticks: int, repeats: int):
         "session_ticks_per_sec": n_sessions * ticks / streamed_best,
         "speedup": baseline_best / streamed_best,
         "max_prediction_gap": gap,
+    }
+
+
+def incremental_fixture(zoo, cohort):
+    """Fitted MAD-GAN detector plus 64 per-stream traces (some spoofed)."""
+    from repro.detectors import MADGANDetector
+
+    train_windows, _, _ = zoo.dataset.from_cohort(cohort, split="train")
+    detector = MADGANDetector(**MADGAN_KWARGS)
+    detector.fit(train_windows[::2])
+    history = detector.sequence_length
+    traces = [
+        trace.copy()
+        for trace in session_traces(
+            cohort,
+            INCREMENTAL_SESSIONS,
+            history + INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS,
+        )
+    ]
+    # Every 8th stream carries a spoofed hyperglycemic level from before the
+    # timed span, so verdict parity is checked on a mix of benign and
+    # manipulated windows (all far from the decision threshold — the warm
+    # path cannot flip them; tests cover the borderline fallback machinery).
+    for index in range(0, INCREMENTAL_SESSIONS, 8):
+        traces[index][history - 4 :, 0] = 400.0
+    return detector, traces
+
+
+def bench_incremental_scoring(zoo, cohort, repeats: int):
+    """Time per-tick MAD-GAN scoring: cold inversion vs warm-started inversion.
+
+    Both passes score identical per-tick window batches after an untimed
+    warm-up (the warm pass needs it to seed its carried latents; excluding it
+    from both sides makes this a steady-state comparison).  The detector's
+    RNG is re-seeded before every pass so cold latent draws are identical
+    across passes and repeats; verdicts are asserted identical tick by tick.
+    """
+    from repro.utils.rng import as_random_state
+
+    detector, traces = incremental_fixture(zoo, cohort)
+    history = detector.sequence_length
+
+    def tick_windows(tick):
+        return np.stack([trace[tick : tick + history] for trace in traces])
+
+    def run_cold():
+        detector._rng = as_random_state(INCREMENTAL_RNG_SEED)
+        for tick in range(INCREMENTAL_WARMUP_TICKS):
+            detector.scores(tick_windows(tick))
+        scores = []
+        start = time.perf_counter()
+        for tick in range(
+            INCREMENTAL_WARMUP_TICKS, INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS
+        ):
+            scores.append(detector.scores(tick_windows(tick)))
+        return time.perf_counter() - start, scores
+
+    def run_warm():
+        detector._rng = as_random_state(INCREMENTAL_RNG_SEED)
+        states = [detector.make_inversion_state() for _ in range(len(traces))]
+        for tick in range(INCREMENTAL_WARMUP_TICKS):
+            detector.scores_incremental(tick_windows(tick), states)
+        scores = []
+        start = time.perf_counter()
+        for tick in range(
+            INCREMENTAL_WARMUP_TICKS, INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS
+        ):
+            scores.append(detector.scores_incremental(tick_windows(tick), states))
+        return time.perf_counter() - start, scores
+
+    cold_best = warm_best = float("inf")
+    worst_gap = 0.0
+    for _ in range(repeats):
+        cold_seconds, cold_scores = run_cold()
+        warm_seconds, warm_scores = run_warm()
+        cold_best = min(cold_best, cold_seconds)
+        warm_best = min(warm_best, warm_seconds)
+        for cold, warm in zip(cold_scores, warm_scores):
+            worst_gap = max(worst_gap, float(np.abs(cold - warm).max()))
+            cold_flags = detector.calibrator.predict(cold)
+            warm_flags = detector.calibrator.predict(warm)
+            if not np.array_equal(cold_flags, warm_flags):
+                raise SystemExit(
+                    "warm-started MAD-GAN verdicts diverged from the cold path"
+                )
+    if worst_gap > INCREMENTAL_SCORE_TOLERANCE:
+        raise SystemExit(
+            f"warm-vs-cold DR score gap {worst_gap:.3f} exceeds the "
+            f"{INCREMENTAL_SCORE_TOLERANCE} tolerance"
+        )
+    return {
+        "n_sessions": INCREMENTAL_SESSIONS,
+        "ticks": INCREMENTAL_TICKS,
+        "warmup_ticks": INCREMENTAL_WARMUP_TICKS,
+        "detector": MADGAN_KWARGS,
+        "cold_seconds": cold_best,
+        "warm_seconds": warm_best,
+        "cold_tick_latency_ms": cold_best / INCREMENTAL_TICKS * 1e3,
+        "warm_tick_latency_ms": warm_best / INCREMENTAL_TICKS * 1e3,
+        "speedup": cold_best / warm_best,
+        "max_score_gap": worst_gap,
+        "score_tolerance": INCREMENTAL_SCORE_TOLERANCE,
+        "verdict_parity": True,  # asserted above, every tick of every repeat
+        "decision_threshold": float(detector.calibrator.threshold_),
     }
 
 
@@ -174,6 +309,15 @@ def main() -> None:
             f"({entry['speedup']:.1f}x, gap {entry['max_prediction_gap']:.2e})"
         )
 
+    print("timing incremental MAD-GAN scoring (warm vs cold inversion, 64 streams)...")
+    incremental = bench_incremental_scoring(zoo, cohort, args.repeats)
+    print(
+        f"  cold {incremental['cold_tick_latency_ms']:.1f} ms/tick, "
+        f"warm {incremental['warm_tick_latency_ms']:.1f} ms/tick "
+        f"({incremental['speedup']:.1f}x, verdicts identical, "
+        f"score gap {incremental['max_score_gap']:.3f})"
+    )
+
     print("checking streaming detector verdict parity (attacked replay)...")
     from check_parity import run_serving_smoke
 
@@ -184,6 +328,7 @@ def main() -> None:
     )
 
     speedup_at_64 = sessions_report["64"]["speedup"]
+    single_session_speedup = sessions_report["1"]["speedup"]
     report = {
         "benchmark": "serving_stream",
         "config": {
@@ -202,6 +347,18 @@ def main() -> None:
         "speedup_at_64": speedup_at_64,
         "target_speedup_at_64": TARGET_SPEEDUP_AT_64,
         "meets_target": bool(speedup_at_64 >= TARGET_SPEEDUP_AT_64),
+        "single_session": {
+            "speedup": single_session_speedup,
+            "target_speedup": TARGET_SINGLE_SESSION,
+            "meets_target": bool(single_session_speedup >= TARGET_SINGLE_SESSION),
+        },
+        "incremental_scoring": {
+            **incremental,
+            "target_speedup": TARGET_INCREMENTAL_SPEEDUP,
+            "meets_target": bool(
+                incremental["speedup"] >= TARGET_INCREMENTAL_SPEEDUP
+            ),
+        },
         "equivalence": {
             "max_prediction_gap": worst_gap,
             "tolerance": TOLERANCE,
@@ -213,12 +370,20 @@ def main() -> None:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"\nspeedup at 64 sessions: {speedup_at_64:.1f}x "
-        f"(target >= {TARGET_SPEEDUP_AT_64:g}x) -> {args.output}"
+        f"(target >= {TARGET_SPEEDUP_AT_64:g}x), "
+        f"single session: {single_session_speedup:.2f}x "
+        f"(target >= {TARGET_SINGLE_SESSION:g}x), "
+        f"incremental scoring: {incremental['speedup']:.1f}x "
+        f"(target >= {TARGET_INCREMENTAL_SPEEDUP:g}x) -> {args.output}"
     )
     if not report["equivalence"]["within_tolerance"]:
         raise SystemExit("streamed predictions diverged from the baseline beyond 1e-10")
     if not report["meets_target"]:
         raise SystemExit("serving speedup target not met")
+    if not report["single_session"]["meets_target"]:
+        raise SystemExit("single-session fast path fell below the naive loop")
+    if not report["incremental_scoring"]["meets_target"]:
+        raise SystemExit("incremental MAD-GAN scoring speedup target not met")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from repro.attacks.explorers import (
     GreedyExplorer,
     RandomExplorer,
 )
-from repro.attacks.uret import AttackResult, EvasionAttack
+from repro.attacks.uret import AttackResult, EvasionAttack, replay_transformation_path
 from repro.attacks.campaign import (
     AttackCampaign,
     CampaignResult,
@@ -51,6 +51,7 @@ __all__ = [
     "RandomExplorer",
     "AttackResult",
     "EvasionAttack",
+    "replay_transformation_path",
     "AttackCampaign",
     "CampaignResult",
     "CampaignSummary",

@@ -9,7 +9,7 @@ them within a plausible hyperglycemic range.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,9 @@ class AttackResult:
     initial benign/eligibility screen (so an ineligible window costs exactly
     one query).  ``benign_window`` and ``adversarial_window`` are independent
     copies — never views into the caller's trace arrays — so downstream
-    consumers can stash them without aliasing hazards.
+    consumers can stash them without aliasing hazards.  ``warm_started`` is
+    True when the window was resolved by replaying a caller-provided seed
+    path (see :meth:`EvasionAttack.attack_batch`) instead of a fresh search.
     """
 
     eligible: bool
@@ -47,11 +49,53 @@ class AttackResult:
     adversarial_state: GlucoseState
     queries: int = 0
     path: List[str] = field(default_factory=list)
+    warm_started: bool = False
 
     @property
     def perturbation_norm(self) -> float:
         """L2 norm of the CGM perturbation (mg/dL)."""
         return float(np.linalg.norm(self.adversarial_window - self.benign_window))
+
+
+def replay_transformation_path(
+    window: np.ndarray,
+    path: Sequence[str],
+    transformers: Sequence[Transformer],
+    constraint: Constraint,
+) -> Optional[np.ndarray]:
+    """Re-apply a recorded transformation path to a (possibly new) window.
+
+    Follows the explorers' expand → project → admissibility discipline edge
+    by edge, matching each step of ``path`` against the current window's
+    candidate descriptions.  No model queries are issued.  Returns the
+    resulting window, or None when any step no longer applies (its
+    description is absent or the constraint rejects the projected edge) —
+    the caller should fall back to a cold search.
+
+    This is the engine behind attack warm-starting: an online attacker's
+    consecutive context windows overlap in all but one sample, so the path
+    that succeeded at tick ``t`` usually still reaches the goal at
+    ``t + 1``; replaying it costs one model query instead of a search.
+    """
+    original = np.asarray(window, dtype=np.float64)
+    current = original
+    for description in path:
+        advanced: Optional[np.ndarray] = None
+        for transformer in transformers:
+            matched = False
+            for edge in transformer.candidates(current):
+                if edge.description == description:
+                    matched = True
+                    projected = constraint.project(edge.window, original)
+                    if constraint.is_satisfied(projected, original):
+                        advanced = projected
+                    break
+            if matched:
+                break
+        if advanced is None:
+            return None
+        current = advanced
+    return current
 
 
 class EvasionAttack:
@@ -173,6 +217,7 @@ class EvasionAttack:
         scenarios: Sequence[Scenario],
         constraint: Optional[Constraint] = None,
         batched: bool = True,
+        seed_paths: Optional[Sequence[Optional[Sequence[str]]]] = None,
     ) -> List[AttackResult]:
         """Attack a batch of windows, one scenario per window.
 
@@ -185,13 +230,29 @@ class EvasionAttack:
         its sequential reference by ``tests/test_explorer_parity.py``.  Set
         ``batched=False`` to fall back to the sequential per-window loop
         (identical results, many more model calls).
+
+        ``seed_paths`` (one optional transformation path per window, aligned
+        by position; requires ``batched=True``) warm-starts the search: each
+        eligible window's seed path is replayed on the window
+        (:func:`replay_transformation_path`, no model queries) and all
+        surviving endpoints are scored in one extra batched call.  Endpoints
+        that reach the goal resolve their window immediately —
+        ``queries == 2`` (screen + endpoint), ``warm_started=True`` — and
+        skip the explorer; the rest fall back to the normal search with the
+        one warm query added to their count, so query accounting stays
+        exact.  This is how :class:`repro.serving.OnlineAttacker` reuses the
+        previous tick's surviving path instead of re-searching every tick.
         """
         windows = np.asarray(windows, dtype=np.float64)
         if len(windows) != len(scenarios):
             raise ValueError("windows and scenarios must have the same length")
+        if seed_paths is not None and len(seed_paths) != len(windows):
+            raise ValueError("seed_paths must align with windows")
         if len(windows) == 0:
             return []
         if not batched:
+            if seed_paths is not None:
+                raise ValueError("seed_paths requires batched=True")
             return [
                 self.attack_window(window, scenario, constraint)
                 for window, scenario in zip(windows, scenarios)
@@ -221,6 +282,56 @@ class EvasionAttack:
             else:
                 eligible_indices.append(index)
 
+        # Warm start: replay seed paths (no model queries), score all surviving
+        # endpoints in one batched call, and resolve the ones that reach the
+        # goal without ever entering the explorer.
+        warm_failures: List[int] = []
+        if seed_paths is not None and eligible_indices:
+            replayed: List[Tuple[int, np.ndarray]] = []
+            for index in eligible_indices:
+                path = seed_paths[index]
+                if not path:
+                    continue
+                endpoint = replay_transformation_path(
+                    windows[index],
+                    path,
+                    self.transformers,
+                    constraint or constraint_for_scenario(scenarios[index]),
+                )
+                if endpoint is not None:
+                    replayed.append((index, endpoint))
+            if replayed:
+                warm_scores = self.predictor.predict(
+                    np.stack([endpoint for _, endpoint in replayed])
+                )
+                resolved = set()
+                for (index, endpoint), warm_score in zip(replayed, warm_scores):
+                    warm_score = float(warm_score)
+                    scenario = scenarios[index]
+                    if not self._goal_function(scenario)(endpoint, warm_score):
+                        warm_failures.append(index)
+                        continue
+                    benign_prediction = float(benign_predictions[index])
+                    results[index] = AttackResult(
+                        eligible=True,
+                        success=True,
+                        scenario=scenario,
+                        benign_window=windows[index].copy(),
+                        adversarial_window=endpoint.copy(),
+                        benign_prediction=benign_prediction,
+                        adversarial_prediction=warm_score,
+                        benign_state=classify_glucose(benign_prediction, scenario),
+                        adversarial_state=classify_glucose(warm_score, scenario),
+                        queries=2,  # eligibility screen + warm endpoint
+                        path=list(seed_paths[index]),
+                        warm_started=True,
+                    )
+                    resolved.add(index)
+                if resolved:
+                    eligible_indices = [
+                        index for index in eligible_indices if index not in resolved
+                    ]
+
         if eligible_indices:
             explorations = self.explorer.search_batch(
                 originals=[windows[index] for index in eligible_indices],
@@ -244,4 +355,7 @@ class EvasionAttack:
                     classify_glucose(benign_prediction, scenarios[index]),
                     exploration,
                 )
+        for index in warm_failures:
+            # The failed warm-endpoint evaluation was a real model query.
+            results[index].queries += 1
         return results  # type: ignore[return-value]

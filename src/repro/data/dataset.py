@@ -145,6 +145,15 @@ class WindowScaler:
             )
         return self._scaler.transform(samples)
 
+    def transform_samples_unchecked(self, samples: np.ndarray) -> np.ndarray:
+        """:meth:`transform_samples` minus input validation.
+
+        Bitwise-identical scaling for callers on the per-tick serving hot
+        path that have already validated ``samples`` as a float64
+        ``(n, n_features)`` array (see ``GlucosePredictor.step_one``).
+        """
+        return self._scaler.transform_unchecked(samples)
+
     def signature(self) -> bytes:
         """Bytes fingerprinting the fitted statistics (for model-identity hashing)."""
         if self.n_features_ is None:

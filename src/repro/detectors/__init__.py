@@ -5,6 +5,7 @@ from repro.detectors.base import AnomalyDetector, ScaledDetectorMixin, Threshold
 from repro.detectors.knn import KNNClassifierDetector, KNNDistanceDetector, minkowski_distances
 from repro.detectors.ocsvm import OneClassSVMDetector, kernel_matrix
 from repro.detectors.madgan import (
+    InversionState,
     MADGANDetector,
     MADGANTrainingHistory,
     SequenceDiscriminator,
@@ -22,6 +23,7 @@ __all__ = [
     "minkowski_distances",
     "OneClassSVMDetector",
     "kernel_matrix",
+    "InversionState",
     "MADGANDetector",
     "MADGANTrainingHistory",
     "SequenceGenerator",

@@ -17,7 +17,7 @@ full pipeline runs on CPU, and is configurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -191,6 +191,44 @@ class MADGANTrainingHistory:
     discriminator_losses: List[float] = field(default_factory=list)
 
 
+@dataclass
+class InversionState:
+    """Per-stream carry-over for incremental MAD-GAN window scoring.
+
+    One state belongs to one sliding-window stream (one monitored CGM
+    session).  It carries the previous tick's best inversion latent so the
+    next tick's generator inversion can warm-start instead of re-searching
+    the latent space from a random draw.
+
+    Attributes
+    ----------
+    latent:
+        ``(sequence_length, latent_dim)`` best latent found at the previous
+        tick, or None before the first scored window (the next call runs a
+        cold inversion).
+    error:
+        The previous tick's reconstruction error (max per-timestep MSE, in
+        scaled feature units) — the warm-start fallback compares against it.
+    ticks:
+        Number of windows scored through this state.
+    fallbacks:
+        How many ticks fell back to a cold inversion because the warm
+        residual regressed (see :meth:`MADGANDetector.scores_incremental`).
+    """
+
+    latent: Optional[np.ndarray] = None
+    error: Optional[float] = None
+    ticks: int = 0
+    fallbacks: int = 0
+
+    def reset(self) -> None:
+        """Forget the carried latent; the next call runs a cold inversion."""
+        self.latent = None
+        self.error = None
+        self.ticks = 0
+        self.fallbacks = 0
+
+
 class MADGANDetector(AnomalyDetector):
     """MAD-GAN anomaly detector with the DR anomaly score.
 
@@ -204,6 +242,25 @@ class MADGANDetector(AnomalyDetector):
         Adversarial training hyper-parameters.
     inversion_steps, inversion_learning_rate:
         Gradient steps used to invert the generator when scoring.
+    warm_inversion_steps:
+        Gradient steps used by :meth:`scores_incremental` when warm-starting
+        the inversion from the previous tick's latent (a fraction of
+        ``inversion_steps`` — the warm start is already near the optimum).
+    warm_fallback_ratio:
+        A warm-started inversion whose reconstruction error exceeds
+        ``warm_fallback_ratio`` times the previous tick's error re-runs the
+        full cold inversion for that stream, so a stale latent can never
+        inflate anomaly scores (the *smaller* of the warm and cold errors is
+        kept — the inversion is a best-effort minimum).
+    cold_refresh_interval:
+        Every this-many ticks a stream's warm carry-over is discarded and
+        the tick scored with a full cold inversion.  This bounds drift in
+        the *other* direction: over a long stationary stretch (e.g. a
+        sustained spoofed level) the carried latent keeps accumulating
+        optimization steps and can reconstruct the windows *better* than
+        the cold path the decision threshold was calibrated on, deflating
+        scores; the periodic re-anchor caps how long such drift can build
+        before a cold-calibrated score is restored.  None disables it.
     reconstruction_weight:
         λ in ``DR = λ · reconstruction + (1 − λ) · discrimination``.
     quantile:
@@ -233,6 +290,9 @@ class MADGANDetector(AnomalyDetector):
         learning_rate: float = 0.005,
         inversion_steps: int = 40,
         inversion_learning_rate: float = 0.1,
+        warm_inversion_steps: int = 10,
+        warm_fallback_ratio: float = 1.5,
+        cold_refresh_interval: Optional[int] = 32,
         reconstruction_weight: float = 0.7,
         quantile: float = 0.95,
         max_samples: int = 3000,
@@ -249,8 +309,19 @@ class MADGANDetector(AnomalyDetector):
         self.epochs = int(epochs)
         self.batch_size = int(batch_size)
         self.learning_rate = float(learning_rate)
+        if warm_inversion_steps <= 0:
+            raise ValueError("warm_inversion_steps must be positive")
+        if warm_fallback_ratio < 1.0:
+            raise ValueError("warm_fallback_ratio must be >= 1.0")
+        if cold_refresh_interval is not None and cold_refresh_interval <= 0:
+            raise ValueError("cold_refresh_interval must be positive or None")
         self.inversion_steps = int(inversion_steps)
         self.inversion_learning_rate = float(inversion_learning_rate)
+        self.warm_inversion_steps = int(warm_inversion_steps)
+        self.warm_fallback_ratio = float(warm_fallback_ratio)
+        self.cold_refresh_interval = (
+            None if cold_refresh_interval is None else int(cold_refresh_interval)
+        )
         self.reconstruction_weight = float(reconstruction_weight)
         self.max_samples = int(max_samples)
 
@@ -363,6 +434,28 @@ class MADGANDetector(AnomalyDetector):
         return self
 
     # ------------------------------------------------------------------ scoring
+    def _invert_fast(
+        self, scaled_windows: np.ndarray, initial_latent: np.ndarray, steps: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run ``steps`` fast-path inversion iterations from ``initial_latent``.
+
+        Returns ``(errors, latent)``: the per-window reconstruction error
+        (max per-timestep MSE over the window, scaled feature units) and the
+        optimized latent ``(n, sequence_length, latent_dim)`` — the carry-over
+        :meth:`scores_incremental` stores per stream.
+        """
+        latent = Parameter(
+            np.array(initial_latent, dtype=np.float64, copy=True), name="latent"
+        )
+        optimizer = Adam([latent], learning_rate=self.inversion_learning_rate)
+        for _ in range(steps):
+            _, latent.grad = self.generator.inversion_grad(latent.data, scaled_windows)
+            optimizer.step()
+            latent.data = np.clip(latent.data, -2.5, 2.5)
+        generated = self.generator.fast_forward(latent.data)
+        per_timestep = np.mean((generated - scaled_windows) ** 2, axis=2)
+        return per_timestep.max(axis=1), latent.data
+
     def _reconstruction_errors(
         self,
         scaled_windows: np.ndarray,
@@ -387,30 +480,28 @@ class MADGANDetector(AnomalyDetector):
         count = len(scaled_windows)
         if initial_latent is None:
             initial_latent = self._sample_latent(count) * 0.1
-        latent = Parameter(np.array(initial_latent, dtype=np.float64, copy=True), name="latent")
-        optimizer = Adam([latent], learning_rate=self.inversion_learning_rate)
         # Constraining the latent to the typical set of its prior is part of
         # both loops: an unbounded latent lets the generator chase arbitrary
         # (including adversarial) targets, which would destroy the
         # reconstruction signal of the DR score.
         if fast:
-            for _ in range(self.inversion_steps):
-                _, latent.grad = self.generator.inversion_grad(latent.data, scaled_windows)
-                optimizer.step()
-                latent.data = np.clip(latent.data, -2.5, 2.5)
-            generated = self.generator.fast_forward(latent.data)
-        else:
-            target = Tensor(scaled_windows)
-            for _ in range(self.inversion_steps):
-                optimizer.zero_grad()
-                self.generator.zero_grad()
-                generated = self.generator(latent)
-                residual = generated - target
-                loss = (residual * residual).mean()
-                loss.backward()
-                optimizer.step()
-                latent.data = np.clip(latent.data, -2.5, 2.5)
-            generated = self.generator(latent).numpy()
+            errors, _ = self._invert_fast(
+                scaled_windows, initial_latent, self.inversion_steps
+            )
+            return errors
+        latent = Parameter(np.array(initial_latent, dtype=np.float64, copy=True), name="latent")
+        optimizer = Adam([latent], learning_rate=self.inversion_learning_rate)
+        target = Tensor(scaled_windows)
+        for _ in range(self.inversion_steps):
+            optimizer.zero_grad()
+            self.generator.zero_grad()
+            generated = self.generator(latent)
+            residual = generated - target
+            loss = (residual * residual).mean()
+            loss.backward()
+            optimizer.step()
+            latent.data = np.clip(latent.data, -2.5, 2.5)
+        generated = self.generator(latent).numpy()
         per_timestep = np.mean((generated - scaled_windows) ** 2, axis=2)
         # A manipulation typically touches only the trailing samples of a
         # window; the max over timesteps keeps a localized discrepancy from
@@ -437,9 +528,181 @@ class MADGANDetector(AnomalyDetector):
         )
 
     def scores(self, windows: np.ndarray) -> np.ndarray:
+        """DR anomaly scores for a batch of raw windows (cold inversion).
+
+        Parameters
+        ----------
+        windows:
+            ``(n, sequence_length, n_features)`` raw (unscaled) multivariate
+            windows — **window** units, the same view the detector was fitted
+            on.  NaNs are not accepted; a streaming caller must wait out the
+            warm-up (see :meth:`repro.detectors.streaming.StreamingDetector`).
+
+        Returns
+        -------
+        ``(n,)`` float scores, larger = more anomalous.  Each call inverts
+        the generator from a *fresh* random latent (drawn from the detector's
+        persistent RNG), so back-to-back calls on the same windows return
+        slightly different scores; :meth:`scores_incremental` is the
+        deterministic-carry-over variant for per-tick streams.
+        """
         check_fitted(self, ("_scaler", "history_"))
         scaled = self._scale(np.asarray(windows, dtype=np.float64))
         return self._dr_scores(scaled)
 
     def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Binary decisions for raw windows: 1 = anomalous (see :meth:`scores`)."""
         return self.calibrator.predict(self.scores(windows))
+
+    # ----------------------------------------------------------- incremental API
+    def make_inversion_state(self) -> InversionState:
+        """Fresh per-stream carry-over for :meth:`scores_incremental`."""
+        return InversionState()
+
+    def scores_incremental(
+        self, windows: np.ndarray, states: Sequence[InversionState]
+    ) -> np.ndarray:
+        """DR anomaly scores with per-stream warm-started generator inversion.
+
+        The per-tick cost ceiling of streaming MAD-GAN monitoring is the
+        generator inversion: :meth:`scores` spends ``inversion_steps``
+        gradient steps per call searching the latent space from a random
+        draw.  Consecutive windows of one stream overlap in all but one
+        sample, so their best latents are close; this method warm-starts the
+        inversion from the previous tick's optimum and needs only
+        ``warm_inversion_steps`` steps to reconverge.
+
+        Parameters
+        ----------
+        windows:
+            ``(n, sequence_length, n_features)`` raw windows — one per
+            monitored stream, each the stream's *current* sliding window
+            (shifted by exactly one sample since that stream's previous
+            call; the carried latent is shifted one timestep to match).
+        states:
+            One :class:`InversionState` per window, aligned by position.
+            States are updated in place: a stream's first call (``latent``
+            None) runs the full cold inversion and seeds the state.
+
+        Returns
+        -------
+        ``(n,)`` float DR scores in the same units as :meth:`scores`.
+
+        Fallback guarantee: a warm inversion whose reconstruction error
+        exceeds ``warm_fallback_ratio`` × the previous tick's error re-runs
+        the cold inversion for that stream and keeps the better (smaller) of
+        the two errors, so a stale latent can only ever *lower* scores back
+        toward the cold path, never inflate them.  Drift in the other
+        direction is bounded by ``cold_refresh_interval``: every N ticks the
+        carry-over is discarded and the tick scored cold, re-anchoring the
+        stream to the statistics the threshold was calibrated on.  Warm and
+        cold scores agree within the cold path's own restart-to-restart
+        variability — ``tests/test_detectors.py`` pins score agreement and
+        ``scripts/bench_serving.py`` asserts verdict parity on its fixture.
+
+        Raises ``ValueError`` when the detector was built with
+        ``use_fast_path=False``: the warm inversion has no autodiff twin, so
+        the reference configuration must score through :meth:`scores`.
+        """
+        if not self.use_fast_path:
+            raise ValueError(
+                "incremental scoring is a fast-path-only feature (the warm "
+                "inversion has no autodiff twin); use scores() with "
+                "use_fast_path=False for the reference path"
+            )
+        check_fitted(self, ("_scaler", "history_"))
+        windows = np.asarray(windows, dtype=np.float64)
+        if len(windows) != len(states):
+            raise ValueError("windows and states must have the same length")
+        scaled = self._scale(windows)
+        count = len(scaled)
+        errors = np.empty(count)
+        latent_shape = (self.sequence_length, self.latent_dim)
+
+        refresh = self.cold_refresh_interval
+        warm_indices: List[int] = []
+        cold_indices: List[int] = []
+        for index, state in enumerate(states):
+            if state.latent is None:
+                cold_indices.append(index)
+            elif state.latent.shape != latent_shape:
+                raise ValueError(
+                    f"state latent must have shape {latent_shape}, "
+                    f"got {state.latent.shape}"
+                )
+            elif refresh is not None and state.ticks > 0 and state.ticks % refresh == 0:
+                # Periodic cold re-anchor (see cold_refresh_interval): the
+                # carried latent is discarded for this tick.
+                cold_indices.append(index)
+            else:
+                warm_indices.append(index)
+
+        fallback_indices: List[int] = []
+        if warm_indices:
+            # The window slid one sample: shift the latent one timestep to
+            # keep each latent step aligned with the sample it explains; the
+            # vacated final step reuses the previous final latent (its best
+            # local guess for the just-arrived sample).
+            initial = np.stack(
+                [
+                    np.concatenate(
+                        [states[index].latent[1:], states[index].latent[-1:]]
+                    )
+                    for index in warm_indices
+                ]
+            )
+            warm_errors, warm_latents = self._invert_fast(
+                scaled[warm_indices], initial, self.warm_inversion_steps
+            )
+            scale = self._benign_reconstruction_scale or 1.0
+            for position, index in enumerate(warm_indices):
+                state = states[index]
+                # A state restored with a latent but no carried error (e.g.
+                # deserialized) gets the floor, so the fallback comparison
+                # still runs — conservatively cold-verifying the warm result.
+                carried = 0.0 if state.error is None else float(state.error)
+                previous = max(carried, 0.01 * scale)
+                if float(warm_errors[position]) > self.warm_fallback_ratio * previous:
+                    fallback_indices.append(index)
+                errors[index] = warm_errors[position]
+                state.latent = warm_latents[position]
+
+        rerun_cold = cold_indices + fallback_indices
+        if rerun_cold:
+            fallback_set = set(fallback_indices)
+            initial = self._sample_latent(len(rerun_cold)) * 0.1
+            cold_errors, cold_latents = self._invert_fast(
+                scaled[rerun_cold], initial, self.inversion_steps
+            )
+            for position, index in enumerate(rerun_cold):
+                state = states[index]
+                cold_error = float(cold_errors[position])
+                if index in fallback_set:
+                    state.fallbacks += 1
+                    if cold_error > errors[index]:
+                        continue  # the warm result was the better inversion
+                errors[index] = cold_error
+                state.latent = cold_latents[position]
+
+        for index, state in enumerate(states):
+            state.error = float(errors[index])
+            state.ticks += 1
+        return self._dr_scores(scaled, errors)
+
+    def predict_incremental(
+        self,
+        windows: np.ndarray,
+        states: Sequence[InversionState],
+        include_scores: bool = False,
+    ):
+        """Binary decisions via :meth:`scores_incremental` (one inversion total).
+
+        Returns the ``(n,)`` int flag array, or ``(flags, scores)`` when
+        ``include_scores`` is True — the scores are the very ones the flags
+        were thresholded from, so callers never pay a second inversion.
+        """
+        scores = self.scores_incremental(windows, states)
+        flags = self.calibrator.predict(scores)
+        if include_scores:
+            return flags, scores
+        return flags

@@ -67,8 +67,18 @@ class StreamingDetector:
     history:
         Ring length for ``unit="window"`` (ignored for sample detectors).
     include_scores:
-        Also query :meth:`AnomalyDetector.scores` each tick (one extra
-        detector call per tick; off by default).
+        Also report the continuous anomaly score each tick.  For plain
+        detectors this is one extra :meth:`AnomalyDetector.scores` call per
+        tick; incremental detectors reuse the very scores their flags were
+        thresholded from, at no extra cost.
+    incremental:
+        Thread a per-stream carry-over state through the detector's
+        incremental scoring API (``make_inversion_state`` /
+        ``scores_incremental`` / ``predict_incremental``, e.g. warm-started
+        MAD-GAN inversion).  ``None`` (the default) auto-enables it for
+        ``unit="window"`` detectors that expose the API; ``False`` forces
+        the stateless cold path; ``True`` raises if the detector cannot do
+        it.  The adapter owns exactly one state — one adapter per stream.
     """
 
     def __init__(
@@ -77,15 +87,33 @@ class StreamingDetector:
         unit: str = "sample",
         history: int = 12,
         include_scores: bool = False,
+        incremental: Optional[bool] = None,
     ):
         if unit not in STREAM_UNITS:
             raise ValueError(f"unit must be one of {STREAM_UNITS}, got {unit!r}")
         if history <= 0:
             raise ValueError("history must be positive")
+        supports_incremental = (
+            unit == "window"
+            and hasattr(detector, "scores_incremental")
+            # A reference-configured detector (use_fast_path=False) must not
+            # be silently moved onto the fast-path-only incremental engine.
+            and getattr(detector, "use_fast_path", True)
+        )
+        if incremental is None:
+            incremental = supports_incremental
+        elif incremental and not supports_incremental:
+            raise ValueError(
+                "incremental streaming requires unit='window' and a "
+                "fast-path detector exposing the incremental scoring API "
+                "(scores_incremental)"
+            )
         self.detector = detector
         self.unit = unit
         self.history = int(history)
         self.include_scores = bool(include_scores)
+        self.incremental = bool(incremental)
+        self._inversion_state = detector.make_inversion_state() if self.incremental else None
         self._ring = SampleRing(self.history)
         self._ticks = 0
 
@@ -95,10 +123,17 @@ class StreamingDetector:
         """Number of samples consumed so far."""
         return self._ticks
 
+    @property
+    def inversion_state(self):
+        """The per-stream incremental carry-over (None for stateless adapters)."""
+        return self._inversion_state
+
     def reset(self) -> None:
         """Forget all buffered history (the detector itself is untouched)."""
         self._ring.reset()
         self._ticks = 0
+        if self._inversion_state is not None:
+            self._inversion_state.reset()
 
     # ------------------------------------------------------------------ ticking
     def prepare(self, sample: np.ndarray):
@@ -128,10 +163,34 @@ class StreamingDetector:
         return self._ring.window()
 
     def update(self, sample: np.ndarray) -> StreamVerdict:
-        """Consume one sample and return this tick's verdict."""
+        """Consume one raw sample and return this tick's verdict.
+
+        Parameters
+        ----------
+        sample:
+            ``(n_features,)`` raw (unscaled) measurement — **sample** units;
+            the adapter assembles the detector's view itself.
+
+        Returns
+        -------
+        A :class:`StreamVerdict`.  ``warming=True`` (and ``flagged=None``)
+        while a ``unit="window"`` adapter has buffered fewer than ``history``
+        samples; afterwards ``flagged`` mirrors the offline
+        ``detector.predict`` on the same view (identical for stateless
+        detectors; within the documented warm-start tolerance for
+        incremental ones, whose state advances exactly once per call).
+        """
         tick, view = self.prepare(sample)
         if view is None:
             return StreamVerdict(tick=tick, warming=True)
+        if self.incremental:
+            flags, scores = self.detector.predict_incremental(
+                view, [self._inversion_state], include_scores=True
+            )
+            score = float(scores[0]) if self.include_scores else None
+            return StreamVerdict(
+                tick=tick, warming=False, flagged=bool(flags[0]), score=score
+            )
         flagged = bool(self.detector.predict(view)[0])
         score = float(self.detector.scores(view)[0]) if self.include_scores else None
         return StreamVerdict(tick=tick, warming=False, flagged=flagged, score=score)

@@ -264,6 +264,31 @@ class GlucosePredictor:
             predictions[warm] = self.scaler.unscale_target(output.reshape(-1))
         return predictions
 
+    def step_one(
+        self, sample: np.ndarray, state: BiLSTMStreamState, row: int = 0
+    ) -> Optional[float]:
+        """Single-stream twin of :meth:`step_stream` for one slot.
+
+        Advances slot ``row`` of ``state`` with one ``(n_features,)`` raw
+        sample and returns the prediction in mg/dL, or None while the slot's
+        window is warming up (fewer than ``history`` samples seen).  The
+        arithmetic is identical to :meth:`step_stream` on a one-row batch,
+        so the two produce bitwise-equal predictions; this path only skips
+        the per-call validation and batch bookkeeping (the serving
+        scheduler's single-session fast path — inputs are assumed validated
+        by the caller).
+        """
+        scaled = self._clip_scaled(
+            self.scaler.transform_samples_unchecked(sample[np.newaxis])
+        )
+        encoded = self.model[0].step_one(scaled[0], state, row)
+        if encoded is None:
+            return None
+        output = encoded
+        for layer in self.model.layers[1:]:
+            output = layer.fast_forward(output)
+        return float(self.scaler.unscale_target(output.reshape(-1))[0])
+
     def predict_stream(self, features: np.ndarray) -> np.ndarray:
         """Stream a whole ``(T, n_features)`` trace one tick at a time.
 

@@ -411,6 +411,70 @@ class BiLSTM(Module):
         outputs[full_mask] = np.concatenate([forward_hidden, hidden], axis=1)
         return outputs
 
+    def step_one(
+        self, sample: np.ndarray, state: "BiLSTMStreamState", row: int = 0
+    ) -> Optional[np.ndarray]:
+        """Single-stream twin of :meth:`step` for one slot, minus the batch glue.
+
+        Advances slot ``row`` with one ``(input_size,)`` sample and returns
+        the ``(1, 2 * hidden)`` sliding-window output, or None while the
+        slot's ring is still warming up.  The arithmetic is identical to
+        :meth:`step` on a one-row batch (same matmul shapes, same ring
+        ordering), so the outputs are bitwise-equal — only the per-call
+        bookkeeping (row gathers, masks, NaN scatter) is skipped.  This is
+        the serving scheduler's single-session fast path; inputs are assumed
+        validated by the caller.
+        """
+        cursor = state.cursor[row]
+        projected = sample[np.newaxis]
+        state.forward_proj[row, cursor] = (
+            projected @ self.forward_layer.cell.weight_input.data
+        )
+        state.backward_proj[row, cursor] = (
+            projected @ self.backward_layer.cell.weight_input.data
+        )
+        state.cursor[row] = (cursor + 1) % state.capacity
+        count = state.count[row] + 1
+        if count <= state.capacity:
+            state.count[row] = count
+            if count < state.capacity:
+                return None
+
+        # Ring rows in window order (oldest sits at the post-write cursor).
+        start = state.cursor[row]
+        forward_ring = state.forward_proj[row]
+        backward_ring = state.backward_proj[row]
+        if start:
+            forward_windows = np.concatenate(
+                (forward_ring[start:], forward_ring[:start])
+            )
+            backward_windows = np.concatenate(
+                (backward_ring[start:], backward_ring[:start])
+            )
+        else:
+            forward_windows = forward_ring
+            backward_windows = backward_ring
+
+        size = self.hidden_size
+        gates = np.empty((1, 4 * size))
+        hidden = np.zeros((1, size))
+        cell_state = np.zeros((1, size))
+        forward_cell = self.forward_layer.cell
+        for step_index in range(state.capacity):
+            hidden, cell_state = forward_cell.fast_step(
+                forward_windows[step_index : step_index + 1], hidden, cell_state, gates
+            )
+        forward_hidden = hidden
+
+        hidden = np.zeros((1, size))
+        cell_state = np.zeros((1, size))
+        backward_cell = self.backward_layer.cell
+        for step_index in range(state.capacity - 1, -1, -1):
+            hidden, cell_state = backward_cell.fast_step(
+                backward_windows[step_index : step_index + 1], hidden, cell_state, gates
+            )
+        return np.concatenate([forward_hidden, hidden], axis=1)
+
 
 class BiLSTMStreamState:
     """Per-stream ring buffers of fused input projections for a BiLSTM.

@@ -32,6 +32,7 @@ from repro.serving.session import PatientSession, SessionTick
 from repro.serving.scheduler import StreamScheduler
 from repro.serving.attacker import AttackEpisode, OnlineAttacker, TamperRecord
 from repro.serving.replay import (
+    DeviceClockConfig,
     EpisodeOutcome,
     ReplayReport,
     ReplaySessionTrace,
@@ -45,6 +46,7 @@ __all__ = [
     "AttackEpisode",
     "OnlineAttacker",
     "TamperRecord",
+    "DeviceClockConfig",
     "EpisodeOutcome",
     "ReplayReport",
     "ReplaySessionTrace",

@@ -84,6 +84,9 @@ class TamperRecord:
     eligible: bool
     success: bool
     queries: int
+    #: True when this tick was resolved by replaying the previous tick's
+    #: surviving transformation path (2 model queries) instead of a search.
+    warm_started: bool = False
 
     @property
     def shift(self) -> float:
@@ -114,6 +117,15 @@ class OnlineAttacker:
     sustain:
         Hold the last tampered CGM value while the context already predicts
         hyperglycemia (see module docstring).
+    warm_start:
+        Seed each tick's search with the previous tick's surviving
+        transformation path (the online windows overlap in all but one
+        sample, so the path that worked a tick ago usually still works).  A
+        successful replay costs 2 model queries instead of a full lockstep
+        search; a failed replay falls back to the search with one extra
+        query.  Per-tick query counts stay exact either way
+        (``TamperRecord.queries``/``warm_started``).  Set False to restart
+        the search from scratch every tick (the pre-warm-start behavior).
     """
 
     def __init__(
@@ -122,6 +134,7 @@ class OnlineAttacker:
         attack_factory: Optional[Callable[[object], EvasionAttack]] = None,
         max_tampered_per_tick: int = 1,
         sustain: bool = True,
+        warm_start: bool = True,
     ):
         if max_tampered_per_tick <= 0:
             raise ValueError("max_tampered_per_tick must be positive")
@@ -136,7 +149,11 @@ class OnlineAttacker:
         self.attack_factory = attack_factory or (lambda predictor: EvasionAttack(predictor))
         self.max_tampered_per_tick = int(max_tampered_per_tick)
         self.sustain = bool(sustain)
+        self.warm_start = bool(warm_start)
         self.records: List[TamperRecord] = []
+        # session_id -> the transformation path that reached the goal at that
+        # session's previous attacked tick (the warm-start seed).
+        self._seed_paths: Dict[str, List[str]] = {}
         self._attacks: Dict[str, EvasionAttack] = {}
         # id -> (predictor, hash); holding the predictor reference keeps the
         # id from being recycled for as long as the memo entry exists.
@@ -196,6 +213,7 @@ class OnlineAttacker:
             episode = self.active_episode(session_id, session.ticks)
             if episode is None:
                 self._held_cgm.pop(session_id, None)
+                self._seed_paths.pop(session_id, None)
                 continue
             context = session.context_window(benign_sample)
             if context is None:  # not enough delivered history to form a window
@@ -211,12 +229,33 @@ class OnlineAttacker:
             attack: EvasionAttack = group["attack"]
             scenario: Scenario = group["scenario"]
             windows = np.stack([context for _, _, context in group["entries"]])
+            seed_paths = None
+            if self.warm_start:
+                seed_paths = [
+                    self._seed_paths.get(session.session_id)
+                    for session, _, _ in group["entries"]
+                ]
+                if not any(seed_paths):
+                    seed_paths = None
             results = attack.attack_batch(
                 windows,
                 [scenario] * len(windows),
                 constraint=self._constraint_for(scenario),
                 batched=True,
+                seed_paths=seed_paths,
             )
+            if self.warm_start:
+                # Remember each session's surviving path as the next tick's
+                # seed; a failed search invalidates the stale seed.  Sustain
+                # ticks (ineligible: the context already predicts hyper)
+                # keep their seed for when the search resumes.
+                for (session, _, _), result in zip(group["entries"], results):
+                    if not result.eligible:
+                        continue
+                    if result.success and result.path:
+                        self._seed_paths[session.session_id] = list(result.path)
+                    else:
+                        self._seed_paths.pop(session.session_id, None)
             pending: List[tuple] = []
             for (session, benign_sample, context), result in zip(group["entries"], results):
                 session_id = session.session_id
@@ -278,6 +317,7 @@ class OnlineAttacker:
                         eligible=bool(result.eligible),
                         success=success,
                         queries=int(result.queries),
+                        warm_started=bool(result.warm_started),
                     )
                 )
         return delivered

@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.cohort import CGM_COLUMN, Cohort
+from repro.utils.rng import SeedLike, as_random_state
 from repro.detectors.base import AnomalyDetector
 from repro.detectors.streaming import StreamingDetector
 from repro.eval.experiments import TraceDetectionSample
@@ -30,18 +31,84 @@ from repro.serving.scheduler import StreamScheduler
 from repro.serving.session import SessionTick
 
 
+@dataclass(frozen=True)
+class DeviceClockConfig:
+    """Per-device transmission clock model for :class:`StreamReplayer`.
+
+    A real CGM fleet does not tick in lockstep: each sensor's transmission
+    period drifts a little from nominal, individual transmissions jitter,
+    and some are dropped outright (radio loss).  This config drives a
+    per-device delivery schedule over the replayer's global clock, so the
+    scheduler's missed-tick path (sessions absent from a ``tick`` mapping),
+    slot recycling, and detection-latency accounting are exercised the way
+    production traffic would.
+
+    Parameters
+    ----------
+    drift:
+        Each device draws a fixed period of ``1 + U(-drift, drift)`` global
+        ticks per sample.  A slow device (period > 1) progressively falls
+        behind the global clock and misses transmission slots.
+    jitter:
+        Additional per-delivery interval noise ``U(-jitter, jitter)``
+        (ticks).  Intervals are clamped to at least 0.25 ticks.
+    dropout:
+        Probability that a due transmission is lost; the device retries on
+        the next global tick (the sample is delayed, never skipped — CGM
+        samples are a sequence, not a best-effort stream).
+    seed:
+        Seed for the per-device period draws and per-delivery noise.
+
+    ``DeviceClockConfig()`` (all zeros) reproduces the lockstep replay
+    exactly; it is also what ``StreamReplayer(clocks=None)`` uses.
+    """
+
+    drift: float = 0.0
+    jitter: float = 0.0
+    dropout: float = 0.0
+    seed: SeedLike = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.drift < 1.0:
+            raise ValueError("drift must be in [0, 1)")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+
 @dataclass
 class ReplaySessionTrace:
-    """Everything one session produced during a replay."""
+    """Everything one session produced during a replay.
+
+    ``ticks`` are indexed in *session-tick* order (one entry per delivered
+    sample); ``delivered_at[i]`` is the global replay tick at which session
+    tick ``i`` was delivered (equal to ``i`` when the replay runs without
+    device clocks).
+    """
 
     session_id: str
     patient_label: str
     ticks: List[SessionTick] = field(default_factory=list)
     scenarios: List[Scenario] = field(default_factory=list)
+    delivered_at: List[int] = field(default_factory=list)
 
     @property
     def n_ticks(self) -> int:
         return len(self.ticks)
+
+    @property
+    def missed_slots(self) -> int:
+        """Global ticks within this device's delivery span with no delivery.
+
+        Zero for a lockstep replay; with device clocks it counts how often
+        the scheduler advanced other sessions while this one's ring stood
+        still (the missed-tick path).
+        """
+        if len(self.delivered_at) < 2:
+            return 0
+        span = self.delivered_at[-1] - self.delivered_at[0] + 1
+        return int(span - len(self.delivered_at))
 
     @property
     def attacked_ticks(self) -> List[int]:
@@ -180,6 +247,11 @@ class StreamReplayer:
     scheduler:
         Bring-your-own scheduler (e.g. to co-serve other sessions); a fresh
         one is created per replay otherwise.
+    clocks:
+        Optional :class:`DeviceClockConfig` giving every device its own
+        transmission clock (drift/jitter/dropout).  None replays all
+        devices in lockstep on the global clock — one sample per device per
+        tick, the previous behavior.
     """
 
     def __init__(
@@ -188,11 +260,13 @@ class StreamReplayer:
         detectors: Optional[Mapping[str, Tuple[AnomalyDetector, str]]] = None,
         attacker: Optional[OnlineAttacker] = None,
         scheduler: Optional[StreamScheduler] = None,
+        clocks: Optional[DeviceClockConfig] = None,
     ):
         self.zoo = zoo
         self.detectors = dict(detectors or {})
         self.attacker = attacker
         self.scheduler = scheduler
+        self.clocks = clocks
 
     def replay(
         self,
@@ -200,7 +274,13 @@ class StreamReplayer:
         split: str = "test",
         max_ticks: Optional[int] = None,
     ) -> ReplayReport:
-        """Stream every patient's trace tick-by-tick and collect the report."""
+        """Stream every patient's trace tick-by-tick and collect the report.
+
+        ``max_ticks`` caps how many *samples* each device delivers (session
+        ticks).  With device clocks the replay runs as many global ticks as
+        the slowest device needs, bounded by a drift/jitter/dropout-derived
+        horizon.
+        """
         scheduler = self.scheduler or StreamScheduler()
         report = ReplayReport(detector_names=list(self.detectors))
 
@@ -235,29 +315,100 @@ class StreamReplayer:
             if not traces:
                 return report
 
-            n_ticks = max(len(trace["features"]) for trace in traces)
-            for tick in range(n_ticks):
-                live = [trace for trace in traces if tick < len(trace["features"])]
+            clocks = self.clocks
+            drift = clocks.drift if clocks is not None else 0.0
+            jitter = clocks.jitter if clocks is not None else 0.0
+            dropout = clocks.dropout if clocks is not None else 0.0
+            rng = as_random_state(clocks.seed) if clocks is not None else None
+            for trace in traces:
+                trace["position"] = 0
+                trace["next_time"] = 0.0
+                trace["period"] = (
+                    1.0 + float(rng.uniform(-drift, drift)) if drift else 1.0
+                )
+
+            n_longest = max(len(trace["features"]) for trace in traces)
+            # The replay runs until every device drains its trace.  The cap is
+            # a safety valve only: four times the mean-based bound (per-sample
+            # period + jitter, inflated by retried dropouts) — a replay that
+            # exceeds it raises instead of silently reporting partial traces.
+            if clocks is None:
+                safety_cap = n_longest
+            else:
+                safety_cap = 4 * (
+                    int(
+                        np.ceil(
+                            n_longest
+                            * (1.0 + drift + jitter)
+                            / max(1.0 - dropout, 0.05)
+                        )
+                    )
+                    + 16
+                )
+            global_tick = -1
+            while True:
+                global_tick += 1
+                live = [
+                    trace
+                    for trace in traces
+                    if trace["position"] < len(trace["features"])
+                ]
+                if not live:
+                    break
+                if global_tick >= safety_cap:
+                    undrained = [trace["session"].session_id for trace in live]
+                    raise RuntimeError(
+                        f"device-clock replay exceeded its safety cap of "
+                        f"{safety_cap} global ticks with sessions {undrained} "
+                        f"still undrained (drift={drift}, jitter={jitter}, "
+                        f"dropout={dropout})"
+                    )
+                due = [
+                    trace for trace in live if trace["next_time"] <= global_tick + 1e-9
+                ]
+                delivering = []
+                for trace in due:
+                    if dropout and float(rng.uniform(0.0, 1.0)) < dropout:
+                        # Lost transmission: the sample is delayed one global
+                        # tick, not skipped (CGM traces are a sequence).
+                        trace["next_time"] = global_tick + 1.0
+                        continue
+                    delivering.append(trace)
+                if not delivering:
+                    continue
+
                 benign = {
-                    trace["session"].session_id: trace["features"][tick] for trace in live
+                    trace["session"].session_id: trace["features"][trace["position"]]
+                    for trace in delivering
                 }
                 if self.attacker is not None:
                     delivered = self.attacker.intercept(
                         [
-                            (trace["session"], trace["features"][tick], trace["scenarios"][tick])
-                            for trace in live
+                            (
+                                trace["session"],
+                                trace["features"][trace["position"]],
+                                trace["scenarios"][trace["position"]],
+                            )
+                            for trace in delivering
                         ]
                     )
                 else:
                     delivered = benign
                 outcomes = scheduler.tick(delivered)
-                for trace in live:
+                for trace in delivering:
                     session_id = trace["session"].session_id
                     outcome = outcomes[session_id]
                     outcome.attacked = not np.array_equal(
                         outcome.sample, np.asarray(benign[session_id], dtype=np.float64)
                     )
-                    report.sessions[session_id].ticks.append(outcome)
+                    session_trace = report.sessions[session_id]
+                    session_trace.ticks.append(outcome)
+                    session_trace.delivered_at.append(global_tick)
+                    trace["position"] += 1
+                    interval = trace["period"]
+                    if jitter:
+                        interval += float(rng.uniform(-jitter, jitter))
+                    trace["next_time"] += max(interval, 0.25)
             self._score_episodes(report)
         finally:
             # Always tear the replay's sessions down — a mid-replay failure

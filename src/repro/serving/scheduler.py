@@ -61,9 +61,23 @@ class _Lane:
 
 
 class StreamScheduler:
-    """Coalesce concurrent patient streams into per-model batched ticks."""
+    """Coalesce concurrent patient streams into per-model batched ticks.
 
-    def __init__(self):
+    Parameters
+    ----------
+    use_single_fast_path:
+        When True (the default) a tick that delivers to exactly one session
+        bypasses the lane stacking and detector-grouping bookkeeping and
+        runs a slim single-stream path (:meth:`GlucosePredictor.step_one`).
+        The arithmetic is identical to the batched path on a one-row batch,
+        so predictions and verdicts are bitwise-equal
+        (``tests/test_serving.py`` pins this); only the per-tick Python
+        overhead differs.  Set False to force every tick through the
+        batched path (benchmark/parity use).
+    """
+
+    def __init__(self, use_single_fast_path: bool = True):
+        self.use_single_fast_path = bool(use_single_fast_path)
         self._lanes: Dict[str, _Lane] = {}
         self._sessions: Dict[str, PatientSession] = {}
 
@@ -119,11 +133,32 @@ class StreamScheduler:
     def tick(self, samples: Mapping[str, np.ndarray]) -> Dict[str, SessionTick]:
         """Deliver one raw sample to each named session; return their outcomes.
 
-        Sessions not named in ``samples`` are untouched (a device that missed
-        a transmission slot).  All model work is one ``step_stream`` call per
-        lane; all detector work is one ``predict`` call per distinct
-        underlying detector object.
+        Parameters
+        ----------
+        samples:
+            ``{session_id: (n_features,) raw sample}`` — **sample** units
+            (one unscaled measurement per stream), not windows.  Sessions
+            not named are untouched (a device that missed a transmission
+            slot); their rings simply don't advance.
+
+        Returns
+        -------
+        ``{session_id: SessionTick}`` for exactly the named sessions.  A
+        tick's ``prediction`` is None while that stream's window is warming
+        up (its first ``history - 1`` delivered samples), then a float in
+        mg/dL; window-unit detector verdicts carry ``warming=True`` over the
+        same span.
+
+        All model work is one ``step_stream`` call per lane; all detector
+        work is one ``predict`` call per distinct underlying detector object
+        (incremental adapters instead share one ``predict_incremental``
+        call, which also advances their per-stream states exactly once).  A
+        single-session tick takes the slim fast path instead — see
+        ``use_single_fast_path``.
         """
+        if self.use_single_fast_path and len(samples) == 1:
+            ((session_id, sample),) = samples.items()
+            return self._tick_single(session_id, sample)
         per_lane: Dict[str, List[Tuple[PatientSession, np.ndarray]]] = {}
         for session_id, sample in samples.items():
             session = self._sessions[str(session_id)]
@@ -165,20 +200,35 @@ class StreamScheduler:
                     if view is None:
                         outcome.verdicts[name] = StreamVerdict(tick=detector_tick, warming=True)
                         continue
-                    group_key = (id(adapter.detector), view.shape[1:])
+                    group_key = (id(adapter.detector), view.shape[1:], adapter.incremental)
                     group = pending_views.setdefault(
                         group_key,
-                        {"detector": adapter.detector, "views": [], "targets": []},
+                        {
+                            "detector": adapter.detector,
+                            "incremental": adapter.incremental,
+                            "views": [],
+                            "targets": [],
+                        },
                     )
                     group["views"].append(view)
                     group["targets"].append((outcome, name, adapter, detector_tick))
 
-        # One batched query per distinct detector object and view shape.
+        # One batched query per distinct detector object and view shape;
+        # incremental adapters additionally thread their per-stream states
+        # through the detector's batched incremental call.
         for group in pending_views.values():
             stacked_views = np.concatenate(group["views"])
-            flags = group["detector"].predict(stacked_views)
             wants_scores = any(adapter.include_scores for _, _, adapter, _ in group["targets"])
-            scores = group["detector"].scores(stacked_views) if wants_scores else None
+            if group["incremental"]:
+                states = [adapter.inversion_state for _, _, adapter, _ in group["targets"]]
+                flags, scores = group["detector"].predict_incremental(
+                    stacked_views, states, include_scores=True
+                )
+                if not wants_scores:
+                    scores = None
+            else:
+                flags = group["detector"].predict(stacked_views)
+                scores = group["detector"].scores(stacked_views) if wants_scores else None
             for index, (outcome, name, adapter, detector_tick) in enumerate(group["targets"]):
                 score = (
                     float(scores[index])
@@ -192,3 +242,32 @@ class StreamScheduler:
                     score=score,
                 )
         return results
+
+    def _tick_single(self, session_id: str, sample: np.ndarray) -> Dict[str, SessionTick]:
+        """One-session tick minus the batching scaffolding (same arithmetic)."""
+        session = self._sessions[str(session_id)]
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.shape != (session.predictor.n_features,):
+            raise ValueError(
+                f"sample for session {session_id!r} must have shape "
+                f"({session.predictor.n_features},), got {sample.shape}"
+            )
+        lane = self._lanes[session._lane_key]
+        prediction = lane.predictor.step_one(sample, lane.state, session._slot)
+
+        tick_index = session.ticks
+        session.ticks += 1
+        session._push_raw(sample)
+        if prediction is not None:
+            session.last_prediction = prediction
+        outcome = SessionTick(
+            session_id=session.session_id,
+            tick=tick_index,
+            sample=sample.copy(),
+            prediction=prediction,
+        )
+        for name, adapter in session.detectors.items():
+            # With a single stream there is nothing to group: the adapter's
+            # own single-stream update IS the batched path's arithmetic.
+            outcome.verdicts[name] = adapter.update(sample)
+        return {session.session_id: outcome}

@@ -25,7 +25,15 @@ class StandardScaler:
 
     def transform(self, data) -> np.ndarray:
         check_fitted(self, ("mean_", "std_"))
-        matrix = ensure_2d(data, "data")
+        return self.transform_unchecked(ensure_2d(data, "data"))
+
+    def transform_unchecked(self, matrix: np.ndarray) -> np.ndarray:
+        """:meth:`transform` minus validation, for trusted hot-path callers.
+
+        ``matrix`` must already be a fitted-width 2-D float array.  Kept next
+        to :meth:`transform` so there is exactly one scaling formula — the
+        serving fast path's bitwise-parity guarantee depends on that.
+        """
         return (matrix - self.mean_) / (self.std_ + self.epsilon)
 
     def fit_transform(self, data) -> np.ndarray:

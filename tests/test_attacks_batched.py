@@ -380,3 +380,132 @@ class TestBatchedCampaign:
             np.testing.assert_array_equal(
                 left.result.adversarial_window, right.result.adversarial_window
             )
+
+
+class MeanTailPredictor:
+    """Stub predicting the mean of the last four CGM samples (counts rows)."""
+
+    def __init__(self):
+        self.rows_scored = 0
+
+    def predict(self, windows):
+        windows = np.asarray(windows, dtype=np.float64)
+        self.rows_scored += len(windows)
+        return windows[:, -4:, CGM_COLUMN].mean(axis=1)
+
+    def predict_one(self, window):
+        return float(self.predict(np.asarray(window)[np.newaxis])[0])
+
+
+class TestSeedPathWarmStart:
+    """attack_batch(seed_paths=...) replays a prior tick's surviving path:
+    a surviving seed resolves the window in 2 queries; a failed or broken
+    seed falls back to the normal search with exact query accounting."""
+
+    def test_replay_transformation_path_matches_manual_application(self):
+        from repro.attacks import replay_transformation_path
+
+        window = benign_window(110.0)
+        constraint = constraint_for_scenario(Scenario.POSTPRANDIAL)
+        path = ["set_last_2_to_220", "set_last_4_to_185"]
+        replayed = replay_transformation_path(
+            window, path, default_transformers(), constraint
+        )
+        current = window
+        for description in path:
+            for transformer in default_transformers():
+                matches = [
+                    edge
+                    for edge in transformer.candidates(current)
+                    if edge.description == description
+                ]
+                if matches:
+                    current = constraint.project(matches[0].window, window)
+                    break
+        np.testing.assert_array_equal(replayed, current)
+
+    def test_replay_unknown_description_returns_none(self):
+        from repro.attacks import replay_transformation_path
+
+        replayed = replay_transformation_path(
+            benign_window(110.0),
+            ["no_such_edge"],
+            default_transformers(),
+            constraint_for_scenario(Scenario.POSTPRANDIAL),
+        )
+        assert replayed is None
+
+    def test_surviving_seed_path_costs_two_queries(self):
+        predictor = CountingPredictor()
+        attack = EvasionAttack(predictor)
+        results = attack.attack_batch(
+            np.stack([benign_window(110.0)]),
+            [Scenario.POSTPRANDIAL],
+            seed_paths=[["set_last_2_to_220"]],
+        )
+        result = results[0]
+        assert result.eligible and result.success and result.warm_started
+        assert result.path == ["set_last_2_to_220"]
+        assert result.queries == 2  # eligibility screen + warm endpoint
+        assert predictor.rows_scored == 2
+        assert result.adversarial_prediction == pytest.approx(220.0)
+
+    def test_failed_seed_path_adds_exactly_one_query(self):
+        window = benign_window(110.0)
+        baseline = EvasionAttack(MeanTailPredictor()).attack_batch(
+            np.stack([window]), [Scenario.POSTPRANDIAL]
+        )[0]
+        # set_last_2_to_185 replays admissibly but predicts (110+110+185+185)/4
+        # = 147.5 < 180: the warm endpoint fails and the search runs anyway.
+        seeded = EvasionAttack(MeanTailPredictor()).attack_batch(
+            np.stack([window]),
+            [Scenario.POSTPRANDIAL],
+            seed_paths=[["set_last_2_to_185"]],
+        )[0]
+        assert not seeded.warm_started
+        assert seeded.success == baseline.success
+        assert seeded.path == baseline.path
+        assert seeded.queries == baseline.queries + 1
+        np.testing.assert_array_equal(
+            seeded.adversarial_window, baseline.adversarial_window
+        )
+
+    def test_broken_seed_path_is_free(self):
+        window = benign_window(110.0)
+        baseline = EvasionAttack(CountingPredictor()).attack_batch(
+            np.stack([window]), [Scenario.POSTPRANDIAL]
+        )[0]
+        seeded = EvasionAttack(CountingPredictor()).attack_batch(
+            np.stack([window]),
+            [Scenario.POSTPRANDIAL],
+            seed_paths=[["no_such_edge"]],
+        )[0]
+        assert not seeded.warm_started
+        assert seeded.queries == baseline.queries
+        assert seeded.path == baseline.path
+
+    def test_ineligible_window_ignores_seed(self):
+        results = EvasionAttack(CountingPredictor()).attack_batch(
+            np.stack([benign_window(300.0)]),
+            [Scenario.POSTPRANDIAL],
+            seed_paths=[["set_last_2_to_220"]],
+        )
+        assert not results[0].eligible
+        assert results[0].queries == 1
+
+    def test_seed_paths_require_batched_mode(self):
+        with pytest.raises(ValueError, match="batched"):
+            EvasionAttack(CountingPredictor()).attack_batch(
+                np.stack([benign_window(110.0)]),
+                [Scenario.POSTPRANDIAL],
+                batched=False,
+                seed_paths=[["set_last_2_to_220"]],
+            )
+
+    def test_seed_paths_must_align(self):
+        with pytest.raises(ValueError, match="align"):
+            EvasionAttack(CountingPredictor()).attack_batch(
+                np.stack([benign_window(110.0)]),
+                [Scenario.POSTPRANDIAL],
+                seed_paths=[],
+            )

@@ -288,6 +288,186 @@ class TestMADGANFastPathRegression:
         fitted.generator.zero_grad()
 
 
+def make_toy_trace(n_ticks: int, seed: int = 5, history: int = 12):
+    """A smooth benign trace whose sliding windows match the toy statistics."""
+    generator = np.random.default_rng(seed)
+    length = n_ticks + history - 1
+    timeline = np.arange(length) / float(history)
+    cgm = 110 + 18 * np.sin(2 * np.pi * (timeline + generator.uniform()))
+    cgm = cgm + generator.normal(0, 2.5, size=length)
+    other = generator.normal(0.0, 1.0, size=(length, 3))
+    return np.column_stack([cgm, other])
+
+
+def sliding_windows(trace: np.ndarray, n_ticks: int, history: int = 12):
+    return np.stack([trace[tick : tick + history] for tick in range(n_ticks)])
+
+
+class TestMADGANIncremental:
+    """Warm-started incremental scoring is pinned to the cold path: a cold
+    first call is bitwise-identical, warm continuations stay within a
+    documented score tolerance with unchanged decisions, and a regressing
+    warm start falls back to the cold inversion."""
+
+    TOLERANCE = 0.5  # warm-vs-cold DR score gap bound on the toy fixture
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        windows, labels = make_toy_windows(n_benign=90, n_malicious=0, seed=3)
+        detector = MADGANDetector(
+            epochs=3,
+            hidden_size=10,
+            inversion_steps=20,
+            warm_inversion_steps=6,
+            seed=0,
+        )
+        detector.fit(windows[labels == 0])
+        return detector
+
+    def test_first_call_matches_cold_scores_exactly(self, fitted):
+        from repro.utils.rng import as_random_state
+
+        windows = sliding_windows(make_toy_trace(4), 4)
+        fitted._rng = as_random_state(77)
+        cold = fitted.scores(windows)
+        states = [fitted.make_inversion_state() for _ in range(len(windows))]
+        fitted._rng = as_random_state(77)
+        warm = fitted.scores_incremental(windows, states)
+        np.testing.assert_array_equal(warm, cold)
+        for state in states:
+            assert state.latent is not None
+            assert state.latent.shape == (fitted.sequence_length, fitted.latent_dim)
+            assert state.error is not None
+            assert state.ticks == 1
+            assert state.fallbacks == 0
+
+    def test_warm_scores_track_cold_with_identical_decisions(self, fitted):
+        n_streams, n_ticks = 3, 8
+        traces = [make_toy_trace(n_ticks, seed=40 + index) for index in range(n_streams)]
+        states = [fitted.make_inversion_state() for _ in range(n_streams)]
+        for tick in range(n_ticks):
+            windows = np.stack(
+                [trace[tick : tick + fitted.sequence_length] for trace in traces]
+            )
+            warm = fitted.scores_incremental(windows, states)
+            cold = fitted.scores(windows)
+            assert np.abs(warm - cold).max() <= self.TOLERANCE
+            np.testing.assert_array_equal(
+                fitted.calibrator.predict(warm), fitted.calibrator.predict(cold)
+            )
+        assert all(state.ticks == n_ticks for state in states)
+
+    def test_regressing_warm_start_falls_back_to_cold(self, fitted):
+        windows = sliding_windows(make_toy_trace(1, seed=9), 1)
+        state = fitted.make_inversion_state()
+        # A stale, far-off latent with an implausibly tiny previous error:
+        # the warm residual must regress beyond the fallback ratio.
+        state.latent = np.full((fitted.sequence_length, fitted.latent_dim), 2.5)
+        state.error = 1e-9
+        state.ticks = 1
+        warm = fitted.scores_incremental(windows, [state])
+        assert state.fallbacks == 1
+        cold = fitted.scores(windows)
+        assert abs(float(warm[0]) - float(cold[0])) <= self.TOLERANCE
+
+    def test_fallback_keeps_the_better_inversion(self, fitted):
+        # Same setup, but the carried error is so tiny the fallback fires even
+        # though the warm result may beat the cold restart; the stored error
+        # must be the minimum of the two.
+        windows = sliding_windows(make_toy_trace(1, seed=10), 1)
+        state = fitted.make_inversion_state()
+        state.latent = np.zeros((fitted.sequence_length, fitted.latent_dim))
+        state.error = 1e-12
+        warm = fitted.scores_incremental(windows, [state])
+        assert state.fallbacks == 1
+        assert np.isfinite(warm).all()
+        assert state.error is not None and state.error >= 0.0
+
+    def test_restored_state_without_error_is_cold_verified(self, fitted):
+        # A state deserialized with a latent but no carried error must not
+        # crash: the fallback comparison runs against the floor instead.
+        windows = sliding_windows(make_toy_trace(1, seed=14), 1)
+        state = fitted.make_inversion_state()
+        state.latent = np.zeros((fitted.sequence_length, fitted.latent_dim))
+        state.error = None
+        scores = fitted.scores_incremental(windows, [state])
+        assert np.isfinite(scores).all()
+        assert state.error is not None
+
+    def test_predict_incremental_reuses_one_inversion(self, fitted):
+        windows = sliding_windows(make_toy_trace(2, seed=11), 2)
+        states = [fitted.make_inversion_state() for _ in range(len(windows))]
+        flags, scores = fitted.predict_incremental(windows, states, include_scores=True)
+        np.testing.assert_array_equal(flags, fitted.calibrator.predict(scores))
+        assert all(state.ticks == 1 for state in states)
+
+    def test_state_alignment_validated(self, fitted):
+        windows = sliding_windows(make_toy_trace(2, seed=12), 2)
+        with pytest.raises(ValueError, match="same length"):
+            fitted.scores_incremental(windows, [fitted.make_inversion_state()])
+        bad = fitted.make_inversion_state()
+        bad.latent = np.zeros((3, fitted.latent_dim))
+        with pytest.raises(ValueError, match="shape"):
+            fitted.scores_incremental(windows[:1], [bad])
+
+    def test_invalid_warm_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MADGANDetector(warm_inversion_steps=0)
+        with pytest.raises(ValueError):
+            MADGANDetector(warm_fallback_ratio=0.5)
+        with pytest.raises(ValueError):
+            MADGANDetector(cold_refresh_interval=0)
+
+    def test_reference_path_detector_rejects_incremental(self):
+        detector = MADGANDetector(use_fast_path=False)
+        with pytest.raises(ValueError, match="fast-path"):
+            detector.scores_incremental(
+                np.zeros((1, 12, 4)), [detector.make_inversion_state()]
+            )
+
+    def test_cold_refresh_reanchors_periodically(self, fitted):
+        trace = make_toy_trace(7, seed=15)
+        state = fitted.make_inversion_state()
+        calls = []
+        original = fitted._invert_fast
+
+        def recording(scaled, initial, steps):
+            calls.append((len(scaled), steps))
+            return original(scaled, initial, steps)
+
+        previous_interval = fitted.cold_refresh_interval
+        fitted._invert_fast = recording
+        fitted.cold_refresh_interval = 3
+        try:
+            for tick in range(6):
+                window = trace[tick : tick + fitted.sequence_length][np.newaxis]
+                fitted.scores_incremental(window, [state])
+        finally:
+            fitted._invert_fast = original
+            fitted.cold_refresh_interval = previous_interval
+        steps = [step for _, step in calls]
+        # tick 0 cold, ticks 1-2 warm, tick 3 refresh (cold), ticks 4-5 warm
+        assert steps == [
+            fitted.inversion_steps,
+            fitted.warm_inversion_steps,
+            fitted.warm_inversion_steps,
+            fitted.inversion_steps,
+            fitted.warm_inversion_steps,
+            fitted.warm_inversion_steps,
+        ]
+        assert state.ticks == 6
+        assert state.fallbacks == 0
+
+    def test_state_reset_forgets_carryover(self, fitted):
+        windows = sliding_windows(make_toy_trace(1, seed=13), 1)
+        state = fitted.make_inversion_state()
+        fitted.scores_incremental(windows, [state])
+        state.reset()
+        assert state.latent is None
+        assert state.error is None
+        assert state.ticks == 0
+
+
 class TestEnsemble:
     def test_majority_vote(self, toy_detection_data):
         windows, labels = toy_detection_data

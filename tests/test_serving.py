@@ -555,3 +555,291 @@ class TestServingSmoke:
         assert report["max_stream_gap"] <= check_parity.PREDICTION_TOLERANCE
         assert report["tampered_ticks"] > 0
         assert report["n_sessions"] == len(tiny_cohort)
+
+
+# ----------------------------------------------------- single-session fast path
+class TestSingleSessionFastPath:
+    """A one-session tick bypasses the batching scaffolding but must stay
+    bitwise-identical to the batched path (same matmul shapes, same ring
+    ordering), predictions and verdicts alike."""
+
+    def test_step_one_bitwise_matches_step_stream(self, aggregate_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        predictor = aggregate_zoo.aggregate
+        features = record.features("test")[:40]
+        fast_state = predictor.stream_state(1)
+        batched_state = predictor.stream_state(1)
+        for sample in features:
+            fast = predictor.step_one(sample, fast_state, 0)
+            batched = predictor.step_stream(sample[np.newaxis], batched_state)[0]
+            if fast is None:
+                assert np.isnan(batched)
+            else:
+                assert fast == batched  # bitwise, not approx
+
+    def test_fast_path_tick_identical_to_batched_tick(
+        self, aggregate_zoo, tiny_cohort, sample_detector
+    ):
+        from repro.detectors import StreamingDetector
+
+        record = next(iter(tiny_cohort))
+        features = record.features("test")[:40]
+        outcomes = {}
+        for fast_path in (True, False):
+            scheduler = StreamScheduler(use_single_fast_path=fast_path)
+            adapter = StreamingDetector(
+                sample_detector, unit="sample", include_scores=True
+            )
+            scheduler.open_session(
+                record.label,
+                aggregate_zoo.model_for(record.label),
+                detectors={"knn": adapter},
+            )
+            outcomes[fast_path] = [
+                scheduler.tick({record.label: sample})[record.label]
+                for sample in features
+            ]
+        for fast, slow in zip(outcomes[True], outcomes[False]):
+            assert fast.tick == slow.tick
+            assert fast.prediction == slow.prediction  # bitwise (or both None)
+            fast_verdict, slow_verdict = fast.verdicts["knn"], slow.verdicts["knn"]
+            assert fast_verdict.flagged == slow_verdict.flagged
+            assert fast_verdict.score == slow_verdict.score
+
+    def test_fast_path_engages_for_partial_ticks_of_a_busy_scheduler(
+        self, aggregate_zoo, tiny_cohort
+    ):
+        # Two sessions open; a tick naming only one of them takes the fast
+        # path and must leave the other stream's state untouched.
+        records = list(tiny_cohort)[:2]
+        traces = {record.label: record.features("test")[:30] for record in records}
+        scheduler = StreamScheduler()
+        for record in records:
+            scheduler.open_session(record.label, aggregate_zoo.model_for(record.label))
+        predictions = {record.label: [] for record in records}
+        consumed = {record.label: [] for record in records}
+        positions = {record.label: 0 for record in records}
+        for tick in range(30):
+            names = (
+                [records[0].label]
+                if tick % 3 == 2
+                else [record.label for record in records]
+            )
+            samples = {}
+            for label in names:
+                samples[label] = traces[label][positions[label]]
+                consumed[label].append(traces[label][positions[label]])
+                positions[label] += 1
+            outcomes = scheduler.tick(samples)
+            for label, outcome in outcomes.items():
+                predictions[label].append(outcome.prediction)
+        predictor = aggregate_zoo.aggregate
+        history = predictor.history
+        for record in records:
+            label = record.label
+            windows, _, _ = aggregate_zoo.dataset.windows_from_features(
+                np.stack(consumed[label])
+            )
+            streamed = np.array(
+                predictions[label][history - 1 : history - 1 + len(windows)],
+                dtype=float,
+            )
+            np.testing.assert_allclose(
+                streamed, predictor.predict(windows), atol=TOLERANCE
+            )
+
+
+# ------------------------------------------------- incremental detector threading
+class TestIncrementalStreamingAdapter:
+    @pytest.fixture(scope="class")
+    def madgan(self, tiny_zoo, tiny_cohort):
+        from repro.detectors import MADGANDetector
+
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        detector = MADGANDetector(
+            epochs=1,
+            hidden_size=8,
+            inversion_steps=6,
+            warm_inversion_steps=2,
+            max_samples=200,
+            seed=0,
+        )
+        detector.fit(windows[::4])
+        return detector
+
+    def test_incremental_auto_enabled_for_window_units(self, madgan, sample_detector):
+        assert StreamingDetector(madgan, unit="window").incremental
+        assert not StreamingDetector(madgan, unit="window", incremental=False).incremental
+        assert not StreamingDetector(sample_detector, unit="sample").incremental
+
+    def test_incremental_requires_capable_detector(self, sample_detector):
+        with pytest.raises(ValueError, match="incremental"):
+            StreamingDetector(sample_detector, unit="sample", incremental=True)
+
+    def test_reference_path_detector_is_not_auto_incremental(self):
+        from repro.detectors import MADGANDetector
+
+        reference = MADGANDetector(use_fast_path=False)
+        assert not StreamingDetector(reference, unit="window").incremental
+        with pytest.raises(ValueError, match="fast-path"):
+            StreamingDetector(reference, unit="window", incremental=True)
+
+    def test_update_advances_state_once_per_tick(self, madgan, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        features = record.features("test")[:16]
+        adapter = StreamingDetector(madgan, unit="window", history=12)
+        for index, sample in enumerate(features):
+            verdict = adapter.update(sample)
+            if index < 11:
+                assert verdict.warming
+            else:
+                assert verdict.flagged is not None
+        assert adapter.inversion_state.ticks == 16 - 11
+        adapter.reset()
+        assert adapter.inversion_state.ticks == 0
+        assert adapter.inversion_state.latent is None
+
+    def test_scheduler_threads_states_through_batched_ticks(
+        self, madgan, aggregate_zoo, tiny_cohort
+    ):
+        records = list(tiny_cohort)[:2]
+        scheduler = StreamScheduler()
+        adapters = {}
+        for record in records:
+            adapters[record.label] = StreamingDetector(madgan, unit="window", history=12)
+            scheduler.open_session(
+                record.label,
+                aggregate_zoo.model_for(record.label),
+                detectors={"madgan": adapters[record.label]},
+            )
+        traces = {record.label: record.features("test")[:15] for record in records}
+        for tick in range(15):
+            outcomes = scheduler.tick(
+                {label: trace[tick] for label, trace in traces.items()}
+            )
+            for label, outcome in outcomes.items():
+                verdict = outcome.verdicts["madgan"]
+                assert verdict.warming == (tick < 11)
+        for adapter in adapters.values():
+            assert adapter.inversion_state.ticks == 15 - 11
+            assert adapter.inversion_state.latent is not None
+
+
+# -------------------------------------------------------------- device clocks
+class TestDeviceClocks:
+    def test_zero_clock_config_matches_lockstep_replay(
+        self, aggregate_zoo, tiny_cohort, sample_detector
+    ):
+        from repro.serving import DeviceClockConfig
+
+        reports = []
+        for clocks in (None, DeviceClockConfig()):
+            replayer = StreamReplayer(
+                aggregate_zoo,
+                detectors={"knn": (sample_detector, "sample")},
+                clocks=clocks,
+            )
+            reports.append(replayer.replay(tiny_cohort, split="test", max_ticks=30))
+        for record in tiny_cohort:
+            lockstep = reports[0].sessions[record.label]
+            clocked = reports[1].sessions[record.label]
+            assert clocked.delivered_at == list(range(30))
+            assert clocked.missed_slots == 0
+            np.testing.assert_array_equal(
+                lockstep.predictions(), clocked.predictions()
+            )
+
+    def test_drifting_clocks_miss_ticks_and_recover(
+        self, aggregate_zoo, tiny_cohort, sample_detector
+    ):
+        from repro.serving import DeviceClockConfig
+
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            detectors={"knn": (sample_detector, "sample")},
+            clocks=DeviceClockConfig(drift=0.3, jitter=0.2, dropout=0.1, seed=4),
+        )
+        report = replayer.replay(tiny_cohort, split="test", max_ticks=40)
+        predictor = aggregate_zoo.aggregate
+        history = predictor.history
+        missed_anywhere = 0
+        for record in tiny_cohort:
+            trace = report.sessions[record.label]
+            # Every sample is eventually delivered, in order.
+            assert trace.n_ticks == 40
+            assert trace.delivered_at == sorted(trace.delivered_at)
+            missed_anywhere += trace.missed_slots
+            # Missed global slots never corrupt the stream: predictions still
+            # match the offline fast path on the delivered samples.
+            delivered = np.stack([outcome.sample for outcome in trace.ticks])
+            windows, _, _ = aggregate_zoo.dataset.windows_from_features(delivered)
+            streamed = trace.predictions()[history - 1 : history - 1 + len(windows)]
+            np.testing.assert_allclose(
+                streamed, predictor.predict(windows), atol=TOLERANCE
+            )
+            offline = sample_detector.predict(delivered[:, np.newaxis, :])
+            flags = [bool(outcome.verdicts["knn"].flagged) for outcome in trace.ticks]
+            assert flags == [bool(flag) for flag in offline]
+        assert missed_anywhere > 0  # the drift actually exercised missed ticks
+
+    def test_heavy_dropout_still_drains_every_trace(
+        self, aggregate_zoo, tiny_cohort
+    ):
+        # Dropout retries are geometric; the replay must keep running until
+        # every device drains rather than truncating at a mean-based horizon.
+        from repro.serving import DeviceClockConfig
+
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            clocks=DeviceClockConfig(dropout=0.6, seed=11),
+        )
+        report = replayer.replay(tiny_cohort, split="test", max_ticks=25)
+        for record in tiny_cohort:
+            trace = report.sessions[record.label]
+            assert trace.n_ticks == 25
+            assert trace.missed_slots > 0
+
+    def test_invalid_clock_configs_rejected(self):
+        from repro.serving import DeviceClockConfig
+
+        with pytest.raises(ValueError):
+            DeviceClockConfig(drift=1.5)
+        with pytest.raises(ValueError):
+            DeviceClockConfig(jitter=-0.1)
+        with pytest.raises(ValueError):
+            DeviceClockConfig(dropout=1.0)
+
+
+# -------------------------------------------------------- attacker warm start
+class TestAttackerWarmStart:
+    def _replay(self, zoo, cohort, warm_start):
+        label = next(iter(cohort)).label
+        attacker = OnlineAttacker(
+            {label: [AttackEpisode(start=20, duration=15)]},
+            sustain=False,
+            warm_start=warm_start,
+        )
+        replayer = StreamReplayer(zoo, attacker=attacker)
+        replayer.replay(cohort.select([label]), split="test", max_ticks=45)
+        return attacker
+
+    def test_warm_start_reduces_query_count(self, aggregate_zoo, tiny_cohort):
+        warm = self._replay(aggregate_zoo, tiny_cohort, warm_start=True)
+        cold = self._replay(aggregate_zoo, tiny_cohort, warm_start=False)
+        assert warm.records and cold.records
+        warm_ticks = [record for record in warm.records if record.warm_started]
+        assert warm_ticks, "the warm start never resolved a tick"
+        assert all(record.queries == 2 for record in warm_ticks)
+        assert sum(record.queries for record in warm.records) < sum(
+            record.queries for record in cold.records
+        )
+        assert not any(record.warm_started for record in cold.records)
+
+    def test_warm_start_preserves_tampering_effect(self, aggregate_zoo, tiny_cohort):
+        warm = self._replay(aggregate_zoo, tiny_cohort, warm_start=True)
+        # Warm-started ticks really tamper: the delivered CGM differs from
+        # the benign one and the episode keeps reaching the goal.
+        for record in warm.records:
+            if record.warm_started:
+                assert record.success
+                assert record.delivered_cgm != record.benign_cgm
