@@ -3,16 +3,20 @@
 Asserts, on a tiny cohort, that every explorer's lockstep ``search_batch``
 reproduces the sequential per-window reference exactly (same eligibility,
 success, paths, query counts, and adversarial windows), that the inference
-fast path stays within its 1e-10 regression tolerance, and — via
-:func:`run_serving_smoke` — that the streaming serving subsystem (scheduler +
-incremental recurrent state + online attacker + streaming detectors) matches
-the offline fast path on a live replay: per-tick predictions within 1e-10 of
-``predict`` on the delivered windows and detector verdicts identical to the
-offline ``predict``.  This is the cheap tripwire between "every PR runs the
-full benchmark" and "parity silently regresses": it is wired into the tier-1
+fast path stays within its 1e-10 regression tolerance, that the fused
+training engine's hand-written gradients match the autodiff graph within
+1e-8 with step-for-step matching fixed-seed loss curves
+(:func:`run_training_parity`), and — via :func:`run_serving_smoke` — that
+the streaming serving subsystem (scheduler + incremental recurrent state +
+online attacker + streaming detectors) matches the offline fast path on a
+live replay: per-tick predictions within 1e-10 of ``predict`` on the
+delivered windows and detector verdicts identical to the offline
+``predict``.  This is the cheap tripwire between "every PR runs the full
+benchmark" and "parity silently regresses": it is wired into the tier-1
 suite (``tests/test_explorer_parity.py`` imports :func:`run_checks`,
-``tests/test_serving.py`` imports :func:`run_serving_smoke`) and can be run
-standalone::
+``tests/test_serving.py`` imports :func:`run_serving_smoke`,
+``tests/test_nn_fused.py`` imports :func:`run_training_parity`) and can be
+run standalone::
 
     PYTHONPATH=src python scripts/check_parity.py
 
@@ -31,6 +35,10 @@ from repro.data import SyntheticOhioT1DM, make_patient_profile
 from repro.glucose import GlucoseModelZoo, Scenario
 
 PREDICTION_TOLERANCE = 1e-10
+GRADIENT_TOLERANCE = 1e-8
+#: Per-epoch losses of a fixed-seed fused fit vs the graph fit; individual
+#: steps agree near machine precision, the budget covers benign accumulation.
+LOSS_CURVE_TOLERANCE = 1e-6
 
 EXPLORER_FACTORIES = {
     "greedy": lambda seed: GreedyExplorer(max_depth=2),
@@ -114,6 +122,133 @@ def run_checks(
     return report
 
 
+def assert_loss_curves_match(graph_losses, fused_losses, label: str) -> float:
+    """Assert two fixed-seed loss curves match step for step; return the gap.
+
+    One comparison recipe for every training-parity tripwire (this script
+    and ``scripts/bench_train.py``): identical lengths, and a maximum
+    absolute per-step gap within :data:`LOSS_CURVE_TOLERANCE`.  Raises
+    ``AssertionError`` on violation (callers wanting a process exit wrap it).
+    """
+    import numpy as np
+
+    graph_losses = np.asarray(graph_losses, dtype=np.float64)
+    fused_losses = np.asarray(fused_losses, dtype=np.float64)
+    assert graph_losses.shape == fused_losses.shape, (
+        f"{label}: loss-curve length mismatch "
+        f"({graph_losses.shape} vs {fused_losses.shape})"
+    )
+    gap = float(np.abs(graph_losses - fused_losses).max())
+    assert gap <= LOSS_CURVE_TOLERANCE, (
+        f"{label}: fused loss curve diverged from the graph path "
+        f"step-for-step gap {gap:.3e} > {LOSS_CURVE_TOLERANCE:g}"
+    )
+    return gap
+
+
+def fused_vs_graph_gradient_gap(model, inputs, targets) -> float:
+    """Worst |fused − graph| across loss, input grad, and every parameter grad.
+
+    Runs one MSE training batch through the autodiff graph and through the
+    fused engine (``fused_forward_train`` → ``fused_mse_loss`` →
+    ``fused_backward_train``) on the same ``model`` and returns the largest
+    absolute deviation.  Shared by :func:`run_training_parity` and
+    ``scripts/bench_train.py`` so the parity recipe is defined once.
+    """
+    import numpy as np
+
+    from repro.nn import Tensor
+    from repro.nn.fused import fused_mse_loss
+    from repro.nn.functional import mse_loss
+
+    model.zero_grad()
+    graph_inputs = Tensor(inputs, requires_grad=True)
+    loss = mse_loss(model(graph_inputs), Tensor(targets))
+    loss.backward()
+    graph_grads = {
+        name: parameter.grad.copy()
+        for name, parameter in model.named_parameters().items()
+    }
+    graph_input_grad = graph_inputs.grad.copy()
+    graph_loss = loss.item()
+
+    model.zero_grad()
+    output, cache = model.fused_forward_train(inputs)
+    fused_loss, grad_output = fused_mse_loss(output, targets)
+    fused_input_grad = model.fused_backward_train(grad_output, cache)
+
+    gap = max(
+        abs(graph_loss - fused_loss),
+        float(np.abs(graph_input_grad - fused_input_grad).max()),
+    )
+    for name, parameter in model.named_parameters().items():
+        gap = max(gap, float(np.abs(parameter.grad - graph_grads[name]).max()))
+    model.zero_grad()
+    return gap
+
+
+def run_training_parity(zoo: GlucoseModelZoo, cohort) -> Dict[str, float]:
+    """Fused-training-engine parity smoke (tier-1).
+
+    Asserts, on the tiny fixture, that
+
+    * one full-stack fused backward (``Module.fused_grads`` through
+      BiLSTM + dense head + MSE seeding) matches the autodiff graph's
+      parameter and input gradients within 1e-8, and
+    * fixed-seed ``GlucosePredictor.fit`` and ``MADGANDetector.fit`` runs
+      produce step-for-step matching per-epoch loss curves on the fused
+      (``use_fast_path=True``) and graph (``False``) engines.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    import numpy as np
+
+    from repro.detectors import MADGANDetector
+    from repro.glucose.predictor import GlucosePredictor
+
+    record = next(iter(cohort))
+    windows, targets, _ = zoo.dataset.from_record(record, "train")
+    windows, targets = windows[:128], targets[:128]
+
+    # ---- one-batch gradient parity over the full forecaster stack
+    reference = zoo.model_for(record.label)
+    scaled = reference._clip_scaled(reference.scaler.transform(windows[:64]))
+    scaled_targets = reference.scaler.scale_target(targets[:64]).reshape(-1, 1)
+    gradient_gap = fused_vs_graph_gradient_gap(reference.model, scaled, scaled_targets)
+    assert gradient_gap <= GRADIENT_TOLERANCE, (
+        f"fused gradients diverged from the autodiff graph: {gradient_gap:.3e}"
+    )
+
+    # ---- fixed-seed loss-curve parity, both trainable models
+    predictor_curves = {}
+    for fast in (False, True):
+        predictor = GlucosePredictor(epochs=2, hidden_size=8, seed=9, use_fast_path=fast)
+        predictor.fit(windows, targets)
+        predictor_curves[fast] = np.asarray(predictor.history_.epoch_losses)
+    predictor_gap = assert_loss_curves_match(
+        predictor_curves[False], predictor_curves[True], "predictor fit"
+    )
+
+    madgan_curves = {}
+    for fast in (False, True):
+        detector = MADGANDetector(
+            epochs=2, hidden_size=8, inversion_steps=2, seed=6, use_fast_path=fast
+        )
+        detector.fit(windows)
+        madgan_curves[fast] = np.concatenate(
+            [detector.history_.generator_losses, detector.history_.discriminator_losses]
+        )
+    madgan_gap = assert_loss_curves_match(
+        madgan_curves[False], madgan_curves[True], "MAD-GAN fit"
+    )
+
+    return {
+        "gradient_gap": gradient_gap,
+        "predictor_loss_gap": predictor_gap,
+        "madgan_loss_gap": madgan_gap,
+    }
+
+
 def run_serving_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 50) -> Dict[str, float]:
     """Streaming-serving parity on a short live replay (tier-1 smoke).
 
@@ -190,6 +325,17 @@ def main() -> int:
         per_seed = report[name]
         queries = sorted(stats["total_queries"] for stats in per_seed.values())
         print(f"  {name}: parity ok across seeds (query totals {queries})")
+    print("running fused-training parity (gradients + fixed-seed loss curves)...")
+    try:
+        training = run_training_parity(zoo, cohort)
+    except AssertionError as error:
+        print(f"TRAINING PARITY VIOLATION: {error}")
+        return 1
+    print(
+        f"  gradient gap {training['gradient_gap']:.3e}, loss-curve gaps "
+        f"predictor {training['predictor_loss_gap']:.3e} / "
+        f"MAD-GAN {training['madgan_loss_gap']:.3e}"
+    )
     print("running serving smoke (streamed replay + online attack, 50 ticks)...")
     try:
         serving = run_serving_smoke(zoo, cohort)

@@ -23,6 +23,7 @@ from repro.nn import (
     BiLSTM,
     BiLSTMStreamState,
     Dense,
+    FusedTrainer,
     Sequential,
     Tensor,
     mse_loss,
@@ -75,10 +76,14 @@ class GlucosePredictor:
         which is the resilience mechanism the paper describes.
     use_fast_path:
         When True (the default) :meth:`predict` runs the graph-free batched
-        inference engine (:meth:`Module.predict`); set False to force every
-        query through the autodiff graph (:meth:`predict_graph`) — only
-        useful for regression testing and benchmarking, the outputs agree to
-        within 1e-10.
+        inference engine (:meth:`Module.predict`) and :meth:`fit` trains
+        through the fused training engine (:class:`~repro.nn.FusedTrainer`:
+        hand-written BPTT, no autodiff graph).  Set False to force every
+        query through the autodiff graph (:meth:`predict_graph`) and every
+        training step through ``loss.backward()`` — only useful for
+        regression testing and benchmarking: predictions agree within 1e-10,
+        fused gradients within 1e-8, and fixed-seed loss curves match
+        step-for-step (``scripts/bench_train.py``).
     seed:
         Seed controlling weight initialization and batch shuffling.
     """
@@ -125,7 +130,16 @@ class GlucosePredictor:
 
     # ------------------------------------------------------------------ training
     def fit(self, windows: np.ndarray, targets: np.ndarray) -> "GlucosePredictor":
-        """Train the forecaster on raw (unscaled) windows and CGM targets."""
+        """Train the forecaster on raw (unscaled) windows and CGM targets.
+
+        With ``use_fast_path`` (the default) every training step runs the
+        fused engine — hand-written BPTT through the BiLSTM and dense head,
+        no autodiff graph (:class:`~repro.nn.FusedTrainer`).  The graph loop
+        is kept as the reference twin (``use_fast_path=False``): same
+        optimizer, same shuffling, same clipping, with per-step losses
+        matching the fused path step-for-step under a fixed seed
+        (``tests/test_nn_fused.py``, ``scripts/bench_train.py``).
+        """
         windows = check_array(windows, "windows", ndim=3, min_samples=1)
         targets = check_array(targets, "targets", ndim=1)
         check_consistent_length(windows, targets)
@@ -146,11 +160,21 @@ class GlucosePredictor:
             shuffle=True,
             seed=self._shuffle_seed,
         )
+        trainer = (
+            FusedTrainer(
+                self.model, optimizer, loss="mse", gradient_clip=self.gradient_clip
+            )
+            if self.use_fast_path
+            else None
+        )
         history = TrainingHistory()
         self.model.train()
         for _ in range(self.epochs):
             epoch_losses = []
             for batch_inputs, batch_targets in iterator:
+                if trainer is not None:
+                    epoch_losses.append(trainer.step(batch_inputs, batch_targets))
+                    continue
                 optimizer.zero_grad()
                 predictions = self.model(Tensor(batch_inputs))
                 loss = mse_loss(predictions, Tensor(batch_targets))

@@ -42,6 +42,11 @@ from repro.nn.functional import (
     mse_loss,
     sigmoid,
 )
+from repro.nn.fused import (
+    FusedTrainer,
+    fused_bce_with_logits_loss,
+    fused_mse_loss,
+)
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.data import BatchIterator
 from repro.nn.initializers import get_initializer, initialize
@@ -75,6 +80,9 @@ __all__ = [
     "binary_cross_entropy_with_logits",
     "l2_penalty",
     "sigmoid",
+    "FusedTrainer",
+    "fused_mse_loss",
+    "fused_bce_with_logits_loss",
     "Optimizer",
     "SGD",
     "Adam",

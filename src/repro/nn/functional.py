@@ -75,6 +75,21 @@ def sigmoid(values: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.asarray(values).clip(-60.0, 60.0)))
 
 
+def sigmoid_(values: np.ndarray) -> np.ndarray:
+    """In-place :func:`sigmoid` (training-loop hot path).
+
+    Bitwise-identical to :func:`sigmoid` — same clipped formulation, same
+    operation order — but every intermediate is written back into ``values``
+    so the fused training recurrence allocates nothing per gate block.
+    """
+    values.clip(-60.0, 60.0, out=values)
+    np.negative(values, out=values)
+    np.exp(values, out=values)
+    values += 1.0
+    np.divide(1.0, values, out=values)
+    return values
+
+
 def tanh(values: np.ndarray) -> np.ndarray:
     """Plain numpy tanh (mirrors :meth:`Tensor.tanh` for the fast path)."""
     return np.tanh(values)

@@ -1,0 +1,201 @@
+"""Graph-free fused training engine: losses, gradient buffers, step driver.
+
+Training, until this module, was the last subsystem that ran entirely through
+the autodiff graph: every LSTM timestep of every batch allocated a dozen
+``Tensor`` nodes with backward closures, and ``loss.backward()`` re-walked
+them all.  The fused engine replaces that with hand-written analytic backward
+passes (see ``fused_forward_train`` / ``fused_backward_train`` on ``Dense``,
+``LSTM``, ``BiLSTM``, ``Sequential`` and the one-shot ``Module.fused_grads``)
+plus the two loss heads the repository trains with:
+
+* :func:`fused_mse_loss` — the predictor's regression objective, and
+* :func:`fused_bce_with_logits_loss` — the MAD-GAN generator/discriminator
+  objective.
+
+Both return ``(loss_value, grad_wrt_inputs)`` and mirror the corresponding
+autodiff ops operation-for-operation (same clipped sigmoid, same
+``sum * (1/count)`` mean, same doubled-residual MSE seeding), so fused
+gradients match the graph within 1e-8 and fixed-seed training runs produce
+step-for-step matching loss curves — the same recipe
+:meth:`~repro.detectors.madgan.SequenceGenerator.inversion_grad` proved for
+the latent-only inversion path, generalized to full weight gradients.
+
+Parameter gradients are accumulated with the same semantics as
+:meth:`Tensor._accumulate` (``None`` → set, otherwise add), writing the first
+contribution into a preallocated per-parameter buffer so a steady-state
+training step allocates nothing for its weight gradients.
+
+:class:`FusedTrainer` packages the whole step (zero-grad, fused forward,
+loss head, fused backward, clip, optimizer step) and plugs into the existing
+:mod:`repro.nn.optim` optimizers unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+LossHead = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
+
+
+# ------------------------------------------------------------- accumulation
+def add_matmul_grad(
+    parameter, buffers: Dict[str, np.ndarray], key: str, a: np.ndarray, b: np.ndarray
+) -> None:
+    """Accumulate ``a @ b`` into ``parameter.grad`` (skip if grads are off).
+
+    Mirrors the autodiff accumulation contract: a parameter whose ``grad`` is
+    ``None`` gets the product written into a reusable preallocated buffer
+    (``buffers[key]``); later contributions add on top.  Frozen parameters
+    (``requires_grad=False``) skip the matrix multiplication entirely — this
+    is what makes the MAD-GAN generator step cheap while the discriminator
+    is frozen.
+    """
+    if not parameter.requires_grad:
+        return
+    if parameter.grad is None:
+        buffer = buffers.get(key)
+        if buffer is None or buffer.shape != parameter.data.shape:
+            buffer = buffers[key] = np.empty_like(parameter.data)
+        np.matmul(a, b, out=buffer)
+        parameter.grad = buffer
+    else:
+        parameter.grad += a @ b
+
+
+def add_sum_grad(
+    parameter, buffers: Dict[str, np.ndarray], key: str, values: np.ndarray, axis
+) -> None:
+    """Accumulate ``values.sum(axis)`` into ``parameter.grad`` (bias reduction)."""
+    if not parameter.requires_grad:
+        return
+    if parameter.grad is None:
+        buffer = buffers.get(key)
+        if buffer is None or buffer.shape != parameter.data.shape:
+            buffer = buffers[key] = np.empty_like(parameter.data)
+        np.sum(values, axis=axis, out=buffer)
+        parameter.grad = buffer
+    else:
+        parameter.grad += values.sum(axis=axis)
+
+
+# ------------------------------------------------------------------- losses
+def fused_mse_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Value and input gradient of :func:`repro.nn.functional.mse_loss`.
+
+    The gradient is seeded exactly as the autodiff ``(d * d).mean()``
+    backward: ``d / count`` accumulated twice (doubling is exact in floating
+    point), so the fused training step reproduces the graph step.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    difference = predictions - targets
+    scale = 1.0 / difference.size
+    grad = difference * scale
+    grad = grad + grad
+    loss = float((difference * difference).sum() * scale)
+    return loss, grad
+
+
+def fused_bce_with_logits_loss(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Value and logit gradient of ``binary_cross_entropy_with_logits``.
+
+    Mirrors the graph formulation ``mean(relu(x) - x * t + log(1 + e^-|x|))``
+    term by term; the gradient is the textbook ``sigmoid(x) - t`` expressed
+    through the same ``exp(-|x|)`` factorization the graph backward follows,
+    so the two paths agree within 1e-8.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    exp_neg_abs = np.exp(-np.abs(logits))
+    softplus = np.log(1.0 + exp_neg_abs)
+    positive_part = logits * (logits > 0)  # mirrors Tensor.relu
+    scale = 1.0 / logits.size
+    loss = float((positive_part - logits * targets + softplus).sum() * scale)
+    grad = (
+        (logits > 0).astype(np.float64)
+        - targets
+        - np.sign(logits) * (exp_neg_abs / (1.0 + exp_neg_abs))
+    ) * scale
+    return loss, grad
+
+
+FUSED_LOSSES: Dict[str, LossHead] = {
+    "mse": fused_mse_loss,
+    "bce_logits": fused_bce_with_logits_loss,
+}
+
+
+# ------------------------------------------------------------------ trainer
+class FusedTrainer:
+    """Drive graph-free training steps through an existing optimizer.
+
+    Parameters
+    ----------
+    module:
+        A module tree whose layers all implement the fused training path
+        (``fused_forward_train`` / ``fused_backward_train``) — e.g. the
+        glucose forecaster's ``Sequential(BiLSTM, Dense, Dense)``.
+    optimizer:
+        Any :mod:`repro.nn.optim` optimizer over ``module.parameters()``.
+        The trainer only calls ``zero_grad`` / ``clip_gradients`` / ``step``,
+        so Adam and SGD behave exactly as they do on graph gradients.
+    loss:
+        A :data:`FUSED_LOSSES` name (``"mse"``, ``"bce_logits"``) or any
+        callable ``(outputs, targets) -> (loss_value, grad_outputs)``.
+    gradient_clip:
+        Optional global-norm clip applied between backward and step,
+        matching ``Optimizer.clip_gradients``.
+
+    One :meth:`step` is numerically the graph training step (forward, loss,
+    backward, clip, update) with fused gradients pinned to autodiff within
+    1e-8 — ``tests/test_nn_fused.py`` and ``scripts/check_parity.py`` enforce
+    this; ``scripts/bench_train.py`` tracks the speedup in
+    ``BENCH_train.json``.
+    """
+
+    def __init__(
+        self,
+        module,
+        optimizer,
+        loss: Union[str, LossHead] = "mse",
+        gradient_clip: Optional[float] = None,
+    ):
+        if isinstance(loss, str):
+            if loss not in FUSED_LOSSES:
+                raise ValueError(
+                    f"unknown fused loss {loss!r}; available: {sorted(FUSED_LOSSES)}"
+                )
+            loss = FUSED_LOSSES[loss]
+        if gradient_clip is not None and gradient_clip <= 0:
+            raise ValueError("gradient_clip must be positive or None")
+        self.module = module
+        self.optimizer = optimizer
+        self.loss = loss
+        self.gradient_clip = None if gradient_clip is None else float(gradient_clip)
+
+    def backward(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Fused forward + loss + backward; accumulates gradients, returns the loss.
+
+        Does not touch the optimizer — callers composing multiple loss
+        branches (e.g. a GAN discriminator on real and fake batches) can run
+        several ``backward`` calls before one ``optimizer.step()``.
+        """
+        output, cache = self.module.fused_forward_train(inputs)
+        loss_value, grad_output = self.loss(output, np.asarray(targets, dtype=np.float64))
+        self.module.fused_backward_train(grad_output, cache)
+        return loss_value
+
+    def step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One full training step; returns the (pre-update) batch loss."""
+        self.optimizer.zero_grad()
+        loss_value = self.backward(inputs, targets)
+        if self.gradient_clip is not None:
+            self.optimizer.clip_gradients(self.gradient_clip)
+        self.optimizer.step()
+        return loss_value

@@ -8,6 +8,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.fused import add_matmul_grad, add_sum_grad
 from repro.nn.initializers import get_initializer
 from repro.nn.tensor import Tensor, as_tensor, no_grad
 from repro.utils.rng import RandomState, as_random_state
@@ -51,6 +52,32 @@ def apply_activation_array(values: np.ndarray, activation: Optional[str]) -> np.
             f"{sorted(key for key in _ACTIVATION_ARRAYS if key)}"
         )
     return _ACTIVATION_ARRAYS[activation](values)
+
+
+def _activation_backward_state(
+    pre_activation: np.ndarray, output: np.ndarray, activation: Optional[str]
+):
+    """What the fused backward of a named activation needs from the forward."""
+    if activation in ("tanh", "sigmoid"):
+        return output  # both derivatives are functions of the output
+    if activation in ("relu", "leaky_relu"):
+        return pre_activation > 0  # the masks Tensor.relu/leaky_relu use
+    return None  # linear / None: identity
+
+
+def _activation_backward(
+    grad_output: np.ndarray, state, activation: Optional[str]
+) -> np.ndarray:
+    """Gradient through a named activation, mirroring the Tensor backward ops."""
+    if activation == "tanh":
+        return grad_output * (1.0 - state**2)
+    if activation == "sigmoid":
+        return grad_output * state * (1.0 - state)
+    if activation == "relu":
+        return grad_output * state
+    if activation == "leaky_relu":
+        return grad_output * np.where(state, 1.0, 0.01)
+    return grad_output
 
 
 class Parameter(Tensor):
@@ -107,6 +134,60 @@ class Module:
         finally:
             for module, was_training in flags:
                 module.training = was_training
+
+    # ------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        """Graph-free *training* forward: returns ``(output, cache)``.
+
+        Unlike :meth:`fast_forward` (inference only), the cache holds every
+        activation the hand-written backward needs, so
+        :meth:`fused_backward_train` can compute full parameter gradients
+        without the autodiff graph.  Layers without an analytic backward do
+        not implement this — train them through the graph.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no fused training path; train it "
+            "through the autodiff graph (module(Tensor(x)) + loss.backward())"
+        )
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        """Hand-written backward for :meth:`fused_forward_train`.
+
+        Accumulates parameter gradients into ``parameter.grad`` with the same
+        semantics as the autodiff engine (``None`` → set, otherwise add;
+        frozen parameters are skipped entirely) and returns the gradient with
+        respect to the layer's inputs.  Pinned to the graph backward within
+        1e-8 by ``tests/test_nn_fused.py``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no fused training path; train it "
+            "through the autodiff graph (module(Tensor(x)) + loss.backward())"
+        )
+
+    def fused_grads(self, inputs: np.ndarray, grad_output: np.ndarray):
+        """One-shot fused forward + backward: ``(output, grad_inputs)``.
+
+        ``grad_output`` is the upstream gradient seeding the backward pass
+        (what ``output.backward(grad_output)`` would seed on the graph path).
+        Parameter gradients are accumulated into each ``parameter.grad``;
+        the per-parameter gradient buffers are preallocated and reused across
+        calls, so steady-state training steps allocate nothing for them.
+        """
+        output, cache = self.fused_forward_train(inputs)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != np.shape(output):
+            raise ValueError(
+                f"grad_output must match the output shape {np.shape(output)}, "
+                f"got {grad_output.shape}"
+            )
+        return output, self.fused_backward_train(grad_output, cache)
+
+    def _fused_buffers(self) -> Dict[str, np.ndarray]:
+        """Lazily created per-parameter gradient buffers (see fused.py)."""
+        buffers = getattr(self, "_fused_grad_buffers", None)
+        if buffers is None:
+            buffers = self._fused_grad_buffers = {}
+        return buffers
 
     # ------------------------------------------------------------- traversal
     def modules(self) -> Iterator["Module"]:
@@ -285,6 +366,36 @@ class Dense(Module):
             output = output + self.bias.data
         return apply_activation_array(output, self.activation)
 
+    # ------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2:
+            raise ValueError(
+                f"Dense fused training expects (batch, features) inputs, got {inputs.shape}"
+            )
+        pre_activation = inputs @ self.weight.data
+        if self.bias is not None:
+            pre_activation = pre_activation + self.bias.data
+        output = apply_activation_array(pre_activation, self.activation)
+        cache = (
+            inputs,
+            _activation_backward_state(pre_activation, output, self.activation),
+        )
+        return output, cache
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        inputs, activation_state = cache
+        grad_pre = _activation_backward(
+            np.asarray(grad_output, dtype=np.float64), activation_state, self.activation
+        )
+        buffers = self._fused_buffers()
+        add_matmul_grad(self.weight, buffers, "weight", inputs.T, grad_pre)
+        if self.bias is not None:
+            # The bias was broadcast over the batch; its gradient is the
+            # row-sum, exactly what the graph's _unbroadcast computes.
+            add_sum_grad(self.bias, buffers, "bias", grad_pre, axis=0)
+        return grad_pre @ self.weight.data.T
+
 
 class Dropout(Module):
     """Inverted dropout; a no-op in evaluation mode."""
@@ -308,6 +419,19 @@ class Dropout(Module):
         # Inference fast path == eval mode: dropout is always the identity.
         return np.asarray(inputs, dtype=np.float64)
 
+    # ------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        if self.training and self.rate:
+            raise NotImplementedError(
+                "Dropout has no fused training path (its mask draws from the "
+                "layer RNG, which the fused engine does not replicate); train "
+                "dropout models through the autodiff graph"
+            )
+        return np.asarray(inputs, dtype=np.float64), None
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        return np.asarray(grad_output, dtype=np.float64)
+
 
 class Activation(Module):
     """A standalone activation layer."""
@@ -323,6 +447,17 @@ class Activation(Module):
 
     def fast_forward(self, inputs: np.ndarray) -> np.ndarray:
         return apply_activation_array(np.asarray(inputs, dtype=np.float64), self.activation)
+
+    # ------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        output = apply_activation_array(inputs, self.activation)
+        return output, _activation_backward_state(inputs, output, self.activation)
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        return _activation_backward(
+            np.asarray(grad_output, dtype=np.float64), cache, self.activation
+        )
 
 
 class Sequential(Module):
@@ -347,6 +482,21 @@ class Sequential(Module):
         for layer in self.layers:
             output = layer.fast_forward(output)
         return output
+
+    # ------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        output = np.asarray(inputs, dtype=np.float64)
+        caches = []
+        for layer in self.layers:
+            output, cache = layer.fused_forward_train(output)
+            caches.append(cache)
+        return output, caches
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        grad = np.asarray(grad_output, dtype=np.float64)
+        for layer, layer_cache in zip(reversed(self.layers), reversed(cache)):
+            grad = layer.fused_backward_train(grad, layer_cache)
+        return grad
 
     def __len__(self) -> int:
         return len(self.layers)

@@ -7,6 +7,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.functional import sigmoid as _sigmoid
+from repro.nn.functional import sigmoid_ as _sigmoid_
+from repro.nn.fused import add_matmul_grad, add_sum_grad
 from repro.nn.initializers import orthogonal, xavier_uniform
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor, concatenate, stack
@@ -235,6 +237,173 @@ class LSTM(Module):
                 sequence[:, step, :] = hidden
         return hidden if sequence is None else sequence
 
+    # ----------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        """Graph-free unrolled training forward; caches gate activations.
+
+        Same fused input projection as :meth:`fast_forward` (one
+        ``(time * batch, features) @ (features, 4 * hidden)`` matmul), but
+        every per-step gate activation, previous cell state, and hidden state
+        is saved so :meth:`fused_backward_train` can run the full truncated
+        BPTT analytically.  Caches are **time-major** — ``cache[name][step]``
+        is a contiguous ``(batch, ·)`` block — and the gate nonlinearities
+        are applied in place inside one ``(time, batch, 4 * hidden)`` array,
+        so a step's inner loop allocates almost nothing.  A ``reverse`` layer
+        flips the sequence into processing order once up front —
+        bit-identical arithmetic to iterating the timesteps backwards.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"LSTM expects inputs of shape (batch, time, features), got {inputs.shape}"
+            )
+        # Time-major processing order: [::-1] first for reverse layers.
+        time_major = inputs.transpose(1, 0, 2)
+        if self.reverse:
+            time_major = time_major[::-1]
+        time_major = np.ascontiguousarray(time_major)
+        timesteps, batch_size, features = time_major.shape
+        size = self.hidden_size
+        cell = self.cell
+        weight_hidden = cell.weight_hidden.data
+        bias = cell.bias.data
+
+        # One fused input projection (+ one vectorized bias add for every
+        # timestep at once); the per-step recurrence then activates the gates
+        # in place on this array (it doubles as the gate cache).
+        gates_seq = (
+            time_major.reshape(timesteps * batch_size, features) @ cell.weight_input.data
+        ).reshape(timesteps, batch_size, 4 * size)
+        gates_seq += bias
+        hidden = np.zeros((batch_size, size))
+        cell_state = np.zeros((batch_size, size))
+        hidden_seq = np.empty((timesteps, batch_size, size))
+        prev_cells = np.empty((timesteps, batch_size, size))
+        tanh_cells = np.empty((timesteps, batch_size, size))
+        for step in range(timesteps):
+            gates = gates_seq[step]
+            gates += hidden @ weight_hidden
+            # Gate order [i, f, g, o]: sigmoid the adjacent i/f block in one
+            # call, tanh the candidate, sigmoid the output gate — in place,
+            # bitwise-identical to the elementwise Tensor ops.
+            i_f = _sigmoid_(gates[:, 0 : 2 * size])
+            i = i_f[:, 0:size]
+            f = i_f[:, size:]
+            g = gates[:, 2 * size : 3 * size]
+            np.tanh(g, out=g)
+            o = _sigmoid_(gates[:, 3 * size : 4 * size])
+            prev_cells[step] = cell_state
+            np.multiply(f, cell_state, out=cell_state)
+            cell_state += i * g
+            tanh_c = np.tanh(cell_state, out=tanh_cells[step])
+            hidden = np.multiply(o, tanh_c, out=hidden_seq[step])
+
+        cache = {
+            "inputs": time_major,  # processing order (flipped for reverse layers)
+            "gates": gates_seq,  # activated [i, f, g, o] blocks per step
+            "hidden_seq": hidden_seq,
+            "prev_cells": prev_cells,
+            "tanh_cells": tanh_cells,
+        }
+        if not self.return_sequences:
+            # `hidden` aliases hidden_seq[-1]; copy so downstream in-place
+            # consumers can never corrupt the cache.
+            return hidden.copy(), cache
+        output = hidden_seq[::-1] if self.reverse else hidden_seq
+        return np.ascontiguousarray(output.transpose(1, 0, 2)), cache
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        """Full truncated BPTT with weight gradients (hand-written).
+
+        The per-step backward mirrors the autodiff gate math
+        operation-for-operation (see ``SequenceGenerator.inversion_grad`` for
+        the latent-only precedent), writing each step's four gate-gradient
+        blocks directly into a time-major ``(time, batch, 4 * hidden)``
+        stack.  The weight gradients are then fused into three calls —
+        ``dWi = x.T @ d_gates``, ``dWh = h_prev.T @ d_gates``, and the bias
+        row-sum — instead of one small matmul per timestep; frozen parameters
+        skip their matmuls entirely.  Returns the gradient with respect to
+        the layer inputs (caller time order).
+        """
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        time_major = cache["inputs"]
+        gates_seq = cache["gates"]
+        hidden_seq = cache["hidden_seq"]
+        tanh_cells = cache["tanh_cells"]
+        prev_cells = cache["prev_cells"]
+        timesteps, batch_size, features = time_major.shape
+        size = self.hidden_size
+        cell = self.cell
+        weight_hidden = cell.weight_hidden.data
+
+        if self.return_sequences:
+            d_hidden_seq = grad_output.transpose(1, 0, 2)
+            if self.reverse:
+                d_hidden_seq = d_hidden_seq[::-1]
+            d_hidden_seq = np.ascontiguousarray(d_hidden_seq)
+            d_hidden = np.zeros((batch_size, size))
+        else:
+            # Sequence-to-one: the upstream gradient seeds only the final
+            # processed step's hidden state.
+            d_hidden_seq = None
+            d_hidden = grad_output
+        # The gate-derivative products are recurrence-independent, so they
+        # vectorize across ALL timesteps in five big elementwise passes; the
+        # sequential loop below then multiplies the running dc/dh into the
+        # per-step slices — a handful of kernels per step instead of ~20.
+        gate_i = gates_seq[:, :, 0:size]
+        gate_f = gates_seq[:, :, size : 2 * size]
+        gate_g = gates_seq[:, :, 2 * size : 3 * size]
+        gate_o = gates_seq[:, :, 3 * size : 4 * size]
+        cell_factor = gate_o * (1.0 - tanh_cells**2)  # dh * this -> dc
+        input_factor = gate_g * (gate_i * (1.0 - gate_i))  # dc * this -> i block
+        forget_factor = prev_cells * (gate_f * (1.0 - gate_f))  # -> f block
+        candidate_factor = gate_i * (1.0 - gate_g**2)  # -> g block
+        output_factor = tanh_cells * (gate_o * (1.0 - gate_o))  # dh * this -> o block
+
+        d_cell = np.zeros((batch_size, size))
+        d_projections = np.empty((timesteps, batch_size, 4 * size))
+        for step in range(timesteps - 1, -1, -1):
+            dh = d_hidden if d_hidden_seq is None else d_hidden_seq[step] + d_hidden
+            dc = d_cell + dh * cell_factor[step]
+            d_projection = d_projections[step]
+            np.multiply(dc, input_factor[step], out=d_projection[:, 0:size])
+            np.multiply(dc, forget_factor[step], out=d_projection[:, size : 2 * size])
+            np.multiply(dc, candidate_factor[step], out=d_projection[:, 2 * size : 3 * size])
+            np.multiply(dh, output_factor[step], out=d_projection[:, 3 * size : 4 * size])
+            d_cell = dc * gate_f[step]
+            d_hidden = d_projection @ weight_hidden.T
+
+        flat_d_projections = d_projections.reshape(timesteps * batch_size, 4 * size)
+        buffers = self._fused_buffers()
+        add_matmul_grad(
+            cell.weight_input,
+            buffers,
+            "weight_input",
+            time_major.reshape(timesteps * batch_size, features).T,
+            flat_d_projections,
+        )
+        if cell.weight_hidden.requires_grad:
+            # h_{t-1} per step, in processing order (h_{-1} is the zero state).
+            hidden_prev = np.concatenate(
+                [np.zeros((1, batch_size, size)), hidden_seq[:-1]], axis=0
+            )
+            add_matmul_grad(
+                cell.weight_hidden,
+                buffers,
+                "weight_hidden",
+                hidden_prev.reshape(timesteps * batch_size, size).T,
+                flat_d_projections,
+            )
+        add_sum_grad(cell.bias, buffers, "bias", flat_d_projections, axis=0)
+
+        d_inputs = (flat_d_projections @ cell.weight_input.data.T).reshape(
+            timesteps, batch_size, features
+        )
+        if self.reverse:
+            d_inputs = d_inputs[::-1]
+        return np.ascontiguousarray(d_inputs.transpose(1, 0, 2))
+
     # ---------------------------------------------------------------- streaming
     def stream_state(self, batch_size: int = 1) -> LSTMStreamState:
         """Fresh incremental state for ``batch_size`` concurrent streams."""
@@ -305,6 +474,28 @@ class BiLSTM(Module):
         forward_out = self.forward_layer.fast_forward(inputs)
         backward_out = self.backward_layer.fast_forward(inputs)
         return np.concatenate([forward_out, backward_out], axis=-1)
+
+    # ----------------------------------------------------------------- training
+    def fused_forward_train(self, inputs: np.ndarray):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        forward_out, forward_cache = self.forward_layer.fused_forward_train(inputs)
+        backward_out, backward_cache = self.backward_layer.fused_forward_train(inputs)
+        output = np.concatenate([forward_out, backward_out], axis=-1)
+        return output, (forward_cache, backward_cache)
+
+    def fused_backward_train(self, grad_output: np.ndarray, cache) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        forward_cache, backward_cache = cache
+        size = self.hidden_size
+        # The concat backward routes each half to its direction; the input
+        # gradient is the sum of both directions' contributions.
+        d_forward = self.forward_layer.fused_backward_train(
+            grad_output[..., :size], forward_cache
+        )
+        d_backward = self.backward_layer.fused_backward_train(
+            grad_output[..., size:], backward_cache
+        )
+        return d_forward + d_backward
 
     # ---------------------------------------------------------------- streaming
     def stream_state(self, n_streams: int = 1, capacity: int = 1) -> "BiLSTMStreamState":

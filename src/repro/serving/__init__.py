@@ -33,6 +33,7 @@ from repro.serving.scheduler import StreamScheduler
 from repro.serving.attacker import AttackEpisode, OnlineAttacker, TamperRecord
 from repro.serving.replay import (
     DeviceClockConfig,
+    SessionChurnConfig,
     EpisodeOutcome,
     ReplayReport,
     ReplaySessionTrace,
@@ -47,6 +48,7 @@ __all__ = [
     "OnlineAttacker",
     "TamperRecord",
     "DeviceClockConfig",
+    "SessionChurnConfig",
     "EpisodeOutcome",
     "ReplayReport",
     "ReplaySessionTrace",

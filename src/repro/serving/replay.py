@@ -77,6 +77,61 @@ class DeviceClockConfig:
             raise ValueError("dropout must be in [0, 1)")
 
 
+@dataclass(frozen=True)
+class SessionChurnConfig:
+    """Session lifecycle model: devices joining and leaving mid-replay.
+
+    The device clocks (:class:`DeviceClockConfig`) perturb *when* an open
+    session transmits; this config perturbs *whether the session exists* —
+    the other half of production traffic.  Devices come online staggered,
+    disconnect mid-trace (their session closes, the scheduler recycles its
+    lane slot and any later joiner may claim it), reconnect as a fresh
+    session that warms up from an empty ring, and tear down as soon as their
+    trace drains.  The replay still guarantees every device delivers its
+    full trace — samples are a sequence, and a disconnected device resumes
+    where it left off.
+
+    Parameters
+    ----------
+    join_stagger:
+        Device ``i`` opens its first session at global tick
+        ``i * join_stagger`` (0 = everyone joins up front, the previous
+        behavior).
+    disconnect_every:
+        After this many delivered samples a device disconnects: its session
+        closes mid-replay and the remaining trace is delivered by a new
+        session (id ``label#1``, ``label#2``, ...) opened
+        ``reconnect_after`` ticks later.  None disables mid-trace churn.
+    reconnect_after:
+        Global ticks a disconnected device stays offline before its next
+        segment joins.
+    close_on_drain:
+        Close a session the moment its trace drains instead of at replay
+        end, so its lane slot is recycled while other devices still stream
+        (slot-recycling under load; the drained trace is unaffected).
+
+    Note on attackers: :class:`OnlineAttacker` episodes are keyed by
+    *session id* and expressed in session-local ticks, so under churn an
+    episode targets one specific segment (``label``, ``label#1``, ...) and
+    its ``start`` counts from that segment's first delivered sample.
+    Episodes pointing past a segment's end are never injected and are
+    excluded from detection metrics.
+    """
+
+    join_stagger: int = 0
+    disconnect_every: Optional[int] = None
+    reconnect_after: int = 1
+    close_on_drain: bool = True
+
+    def __post_init__(self):
+        if self.join_stagger < 0:
+            raise ValueError("join_stagger must be non-negative")
+        if self.disconnect_every is not None and self.disconnect_every <= 0:
+            raise ValueError("disconnect_every must be positive or None")
+        if self.reconnect_after < 0:
+            raise ValueError("reconnect_after must be non-negative")
+
+
 @dataclass
 class ReplaySessionTrace:
     """Everything one session produced during a replay.
@@ -207,6 +262,25 @@ class ReplayReport:
                 counts["false_negatives"] += 1
         return breakdown
 
+    # ------------------------------------------------------------------- churn
+    def segments_for(self, patient_label: str) -> List["ReplaySessionTrace"]:
+        """Every session segment one device produced, in creation order.
+
+        Without churn this is the device's single session; with
+        :class:`SessionChurnConfig` disconnects each reconnection opened a
+        fresh session (``label``, ``label#1``, ``label#2``, ...) and the
+        device's trace is the concatenation of its segments' ticks.
+        """
+        return [
+            trace
+            for trace in self.sessions.values()
+            if trace.patient_label == patient_label
+        ]
+
+    def delivered_ticks(self, patient_label: str) -> int:
+        """Total samples one device delivered across all its session segments."""
+        return sum(trace.n_ticks for trace in self.segments_for(patient_label))
+
     # ---------------------------------------------------------------- latency
     def episode_outcomes(self, detector: str) -> List[EpisodeOutcome]:
         return [outcome for outcome in self.episodes if outcome.detector == detector]
@@ -252,6 +326,13 @@ class StreamReplayer:
         transmission clock (drift/jitter/dropout).  None replays all
         devices in lockstep on the global clock — one sample per device per
         tick, the previous behavior.
+    churn:
+        Optional :class:`SessionChurnConfig` modelling devices joining and
+        leaving mid-replay (staggered joins, mid-trace disconnect/reconnect
+        segments, close-on-drain).  Exercises the scheduler's slot
+        recycling at scale; None keeps every session open for the whole
+        replay, the previous behavior.  Every device still delivers its
+        full trace (the drain guarantee; ``tests/test_serving.py`` pins it).
     """
 
     def __init__(
@@ -261,12 +342,14 @@ class StreamReplayer:
         attacker: Optional[OnlineAttacker] = None,
         scheduler: Optional[StreamScheduler] = None,
         clocks: Optional[DeviceClockConfig] = None,
+        churn: Optional[SessionChurnConfig] = None,
     ):
         self.zoo = zoo
         self.detectors = dict(detectors or {})
         self.attacker = attacker
         self.scheduler = scheduler
         self.clocks = clocks
+        self.churn = churn
 
     def replay(
         self,
@@ -279,10 +362,12 @@ class StreamReplayer:
         ``max_ticks`` caps how many *samples* each device delivers (session
         ticks).  With device clocks the replay runs as many global ticks as
         the slowest device needs, bounded by a drift/jitter/dropout-derived
-        horizon.
+        horizon; with session churn the same drain guarantee holds across a
+        device's disconnect/reconnect segments.
         """
         scheduler = self.scheduler or StreamScheduler()
         report = ReplayReport(detector_names=list(self.detectors))
+        churn = self.churn
 
         traces: List[dict] = []
         try:
@@ -292,25 +377,22 @@ class StreamReplayer:
                     features = features[:max_ticks]
                 if len(features) == 0:
                     continue
-                scenarios = scenario_for_samples(features[:, 2])
-                adapters = {
-                    name: StreamingDetector(
-                        detector, unit=unit, history=self.zoo.dataset.history
-                    )
-                    for name, (detector, unit) in self.detectors.items()
-                }
-                session = scheduler.open_session(
-                    record.label,
-                    self.zoo.model_for(record.label),
-                    detectors=adapters,
-                )
-                report.sessions[session.session_id] = ReplaySessionTrace(
-                    session_id=session.session_id,
-                    patient_label=record.label,
-                    scenarios=list(scenarios),
-                )
                 traces.append(
-                    {"session": session, "features": features, "scenarios": scenarios}
+                    {
+                        "label": record.label,
+                        "features": features,
+                        "scenarios": scenario_for_samples(features[:, 2]),
+                        "session": None,
+                        "segment": 0,
+                        "segment_deliveries": 0,
+                        "position": 0,
+                        # First join: staggered when churn says so.
+                        "join_time": (
+                            len(traces) * churn.join_stagger if churn is not None else 0
+                        ),
+                        "next_time": 0.0,
+                        "period": 1.0,
+                    }
                 )
             if not traces:
                 return report
@@ -321,30 +403,59 @@ class StreamReplayer:
             dropout = clocks.dropout if clocks is not None else 0.0
             rng = as_random_state(clocks.seed) if clocks is not None else None
             for trace in traces:
-                trace["position"] = 0
-                trace["next_time"] = 0.0
                 trace["period"] = (
                     1.0 + float(rng.uniform(-drift, drift)) if drift else 1.0
                 )
 
+            def open_segment(trace: dict, global_tick: int) -> None:
+                """Open the device's next session segment (fresh adapters/rings)."""
+                label = trace["label"]
+                segment = trace["segment"]
+                session_id = label if segment == 0 else f"{label}#{segment}"
+                adapters = {
+                    name: StreamingDetector(
+                        detector, unit=unit, history=self.zoo.dataset.history
+                    )
+                    for name, (detector, unit) in self.detectors.items()
+                }
+                session = scheduler.open_session(
+                    label,
+                    self.zoo.model_for(label),
+                    detectors=adapters,
+                    session_id=session_id,
+                )
+                trace["session"] = session
+                trace["segment_deliveries"] = 0
+                trace["next_time"] = float(global_tick)
+                report.sessions[session_id] = ReplaySessionTrace(
+                    session_id=session_id, patient_label=label
+                )
+
+            def close_segment(trace: dict) -> None:
+                scheduler.close_session(trace["session"].session_id)
+                trace["session"] = None
+
             n_longest = max(len(trace["features"]) for trace in traces)
             # The replay runs until every device drains its trace.  The cap is
             # a safety valve only: four times the mean-based bound (per-sample
-            # period + jitter, inflated by retried dropouts) — a replay that
-            # exceeds it raises instead of silently reporting partial traces.
-            if clocks is None:
+            # period + jitter, inflated by retried dropouts, plus join stagger
+            # and reconnect downtime) — a replay that exceeds it raises
+            # instead of silently reporting partial traces.
+            if clocks is None and churn is None:
                 safety_cap = n_longest
             else:
-                safety_cap = 4 * (
-                    int(
-                        np.ceil(
-                            n_longest
-                            * (1.0 + drift + jitter)
-                            / max(1.0 - dropout, 0.05)
-                        )
+                bound = int(
+                    np.ceil(
+                        n_longest * (1.0 + drift + jitter) / max(1.0 - dropout, 0.05)
                     )
-                    + 16
                 )
+                if churn is not None:
+                    bound += (len(traces) - 1) * churn.join_stagger
+                    if churn.disconnect_every is not None:
+                        reconnects = n_longest // churn.disconnect_every + 1
+                        bound += reconnects * (churn.reconnect_after + 1)
+                safety_cap = 4 * (bound + 16)
+
             global_tick = -1
             while True:
                 global_tick += 1
@@ -356,15 +467,21 @@ class StreamReplayer:
                 if not live:
                     break
                 if global_tick >= safety_cap:
-                    undrained = [trace["session"].session_id for trace in live]
+                    undrained = [trace["label"] for trace in live]
                     raise RuntimeError(
-                        f"device-clock replay exceeded its safety cap of "
-                        f"{safety_cap} global ticks with sessions {undrained} "
-                        f"still undrained (drift={drift}, jitter={jitter}, "
-                        f"dropout={dropout})"
+                        f"replay exceeded its safety cap of {safety_cap} global "
+                        f"ticks with devices {undrained} still undrained "
+                        f"(drift={drift}, jitter={jitter}, dropout={dropout}, "
+                        f"churn={churn})"
                     )
+                for trace in live:
+                    if trace["session"] is None and trace["join_time"] <= global_tick:
+                        open_segment(trace, global_tick)
                 due = [
-                    trace for trace in live if trace["next_time"] <= global_tick + 1e-9
+                    trace
+                    for trace in live
+                    if trace["session"] is not None
+                    and trace["next_time"] <= global_tick + 1e-9
                 ]
                 delivering = []
                 for trace in due:
@@ -397,6 +514,7 @@ class StreamReplayer:
                 outcomes = scheduler.tick(delivered)
                 for trace in delivering:
                     session_id = trace["session"].session_id
+                    position = trace["position"]
                     outcome = outcomes[session_id]
                     outcome.attacked = not np.array_equal(
                         outcome.sample, np.asarray(benign[session_id], dtype=np.float64)
@@ -404,17 +522,36 @@ class StreamReplayer:
                     session_trace = report.sessions[session_id]
                     session_trace.ticks.append(outcome)
                     session_trace.delivered_at.append(global_tick)
-                    trace["position"] += 1
+                    session_trace.scenarios.append(trace["scenarios"][position])
+                    trace["position"] = position + 1
+                    trace["segment_deliveries"] += 1
                     interval = trace["period"]
                     if jitter:
                         interval += float(rng.uniform(-jitter, jitter))
                     trace["next_time"] += max(interval, 0.25)
+
+                    if churn is None:
+                        continue
+                    if trace["position"] >= len(trace["features"]):
+                        if churn.close_on_drain:
+                            # Drained: recycle the slot while others stream.
+                            close_segment(trace)
+                    elif (
+                        churn.disconnect_every is not None
+                        and trace["segment_deliveries"] >= churn.disconnect_every
+                    ):
+                        # Mid-trace disconnect: the device goes offline and
+                        # resumes later as a fresh session segment.
+                        close_segment(trace)
+                        trace["segment"] += 1
+                        trace["join_time"] = global_tick + 1 + churn.reconnect_after
             self._score_episodes(report)
         finally:
             # Always tear the replay's sessions down — a mid-replay failure
             # must not leak sessions/slots into a bring-your-own scheduler.
             for trace in traces:
-                scheduler.close_session(trace["session"].session_id)
+                if trace["session"] is not None:
+                    scheduler.close_session(trace["session"].session_id)
         return report
 
     # ------------------------------------------------------------------ helpers
@@ -426,6 +563,14 @@ class StreamReplayer:
             if trace is None:
                 continue
             for episode in episodes:
+                if episode.start >= trace.n_ticks:
+                    # The episode's tick range never ran for this session —
+                    # the trace was truncated (max_ticks) or, under churn,
+                    # the device disconnected before reaching it (episodes
+                    # are keyed per session *segment*, whose local ticks
+                    # restart at 0).  Emitting a detected=False outcome here
+                    # would report a "missed" attack that was never injected.
+                    continue
                 for detector in report.detector_names:
                     first_flag: Optional[int] = None
                     for outcome in trace.ticks[episode.start : episode.end]:

@@ -509,3 +509,237 @@ class TestSeedPathWarmStart:
                 [Scenario.POSTPRANDIAL],
                 seed_paths=[],
             )
+
+
+class PassConstraint:
+    """Admissibility stub: everything is allowed, projection is identity."""
+
+    def is_satisfied(self, window, original):
+        return True
+
+    def project(self, window, original):
+        return np.asarray(window, dtype=np.float64)
+
+    def satisfied_mask(self, windows, original):
+        return np.ones(len(windows), dtype=bool)
+
+    def project_batch(self, windows, original):
+        return np.asarray(windows, dtype=np.float64)
+
+
+class TestSeedBeamExplorers:
+    """search_batch(seed_entries=...): a pre-scored (window, score, path) seed
+    joins the explorer's starting beam without costing a model query."""
+
+    @staticmethod
+    def _toy():
+        from repro.attacks.transformers import SuffixOffsetTransformer
+
+        transformers = [SuffixOffsetTransformer(offsets=(10.0, 20.0), suffix_lengths=(1,))]
+        constraint = PassConstraint()
+
+        def score_function(batch):
+            return np.asarray(batch)[:, -1, CGM_COLUMN]
+
+        return transformers, constraint, score_function
+
+    @staticmethod
+    def _seed(window, offset, path):
+        seeded = np.asarray(window, dtype=np.float64).copy()
+        seeded[-1, CGM_COLUMN] += offset
+        return (seeded, float(seeded[-1, CGM_COLUMN]), path)
+
+    def _run(self, explorer, threshold, seed_entries=None):
+        transformers, constraint, score_function = self._toy()
+        window = benign_window(100.0)
+        return explorer.search_batch(
+            originals=[window],
+            transformers=transformers,
+            constraints=[constraint],
+            score_function=score_function,
+            goal_functions=[lambda w, s: s > threshold],
+            initial_scores=[100.0],
+            seed_entries=seed_entries,
+        )[0]
+
+    def test_greedy_resumes_from_seed(self):
+        explorer = GreedyExplorer(max_depth=4)
+        cold = self._run(explorer, threshold=165.0)
+        assert cold.success and cold.queries == 8  # 4 depths x 2 edges
+        seed = self._seed(benign_window(100.0), 50.0, ["seeded"])
+        seeded = self._run(explorer, threshold=165.0, seed_entries=[seed])
+        assert seeded.success
+        assert seeded.queries == 2  # one depth from the 150-score seed
+        assert seeded.path == ["seeded", "offset_last_1_by_20"]
+        assert seeded.score == pytest.approx(170.0)
+
+    def test_beam_includes_seed_in_starting_beam(self):
+        from repro.attacks import BeamExplorer
+
+        explorer = BeamExplorer(beam_width=2, max_depth=4)
+        cold = self._run(explorer, threshold=165.0)
+        seed = self._seed(benign_window(100.0), 50.0, ["seeded"])
+        seeded = self._run(explorer, threshold=165.0, seed_entries=[seed])
+        assert cold.success and seeded.success
+        assert seeded.queries < cold.queries
+        # Depth 1 expands BOTH beam items (seed + original): 4 candidates.
+        assert seeded.queries == 4
+        assert seeded.path == ["seeded", "offset_last_1_by_20"]
+
+    def test_beam_width_one_keeps_only_the_better_entry(self):
+        from repro.attacks import BeamExplorer
+
+        explorer = BeamExplorer(beam_width=1, max_depth=1)
+        seed = self._seed(benign_window(100.0), 50.0, ["seeded"])
+        seeded = self._run(explorer, threshold=1e9, seed_entries=[seed])
+        # Only the seed survives the width-1 beam: depth 1 scores 2 edges.
+        assert seeded.queries == 2
+        assert seeded.path[:1] == ["seeded"]
+
+    def test_random_explorer_tracks_seed_as_best(self):
+        explorer = RandomExplorer(max_depth=2, n_walks=3, seed=0)
+        seed_window = benign_window(100.0)
+        seed = self._seed(seed_window, 50.0, ["seeded"])
+        # Walks top out at 100 + 2 * 20 = 140 < 150: the seed stays best.
+        result = self._run(explorer, threshold=1e9, seed_entries=[seed])
+        assert not result.success
+        assert result.score == pytest.approx(150.0)
+        assert result.path == ["seeded"]
+        np.testing.assert_array_equal(result.window, seed[0])
+
+    def test_worse_seed_is_ignored(self):
+        explorer = GreedyExplorer(max_depth=2)
+        cold = self._run(explorer, threshold=1e9)
+        worse = self._seed(benign_window(100.0), -50.0, ["worse"])
+        seeded = self._run(explorer, threshold=1e9, seed_entries=[worse])
+        assert seeded.score == cold.score
+        assert seeded.path == cold.path
+        assert seeded.queries == cold.queries
+
+    def test_reference_loop_rejects_seed_entries(self):
+        from repro.attacks.explorers import Explorer
+
+        transformers, constraint, score_function = self._toy()
+        with pytest.raises(ValueError, match="lockstep"):
+            Explorer().search_batch(
+                originals=[benign_window(100.0)],
+                transformers=transformers,
+                constraints=[constraint],
+                score_function=score_function,
+                goal_functions=[lambda w, s: False],
+                initial_scores=[100.0],
+                seed_entries=[self._seed(benign_window(100.0), 50.0, ["seeded"])],
+            )
+
+    def test_seed_entries_must_align(self):
+        explorer = GreedyExplorer(max_depth=1)
+        transformers, constraint, score_function = self._toy()
+        with pytest.raises(ValueError, match="align"):
+            explorer.search_batch(
+                originals=[benign_window(100.0)],
+                transformers=transformers,
+                constraints=[constraint],
+                score_function=score_function,
+                goal_functions=[lambda w, s: False],
+                initial_scores=[100.0],
+                seed_entries=[],
+            )
+
+
+class TestSeedBeamAttackBatch:
+    """attack_batch(seed_beam=True): warm misses hand their endpoint to the
+    explorer as a starting-beam seed, with exact query accounting."""
+
+    @staticmethod
+    def _attack():
+        from repro.attacks.transformers import SuffixOffsetTransformer
+
+        return EvasionAttack(
+            MeanTailPredictor(),
+            transformers=[SuffixOffsetTransformer(offsets=(30.0,), suffix_lengths=(4,))],
+        )
+
+    def test_warm_miss_resumes_from_seed_with_fewer_queries(self):
+        window = benign_window(110.0)
+        scenarios = [Scenario.POSTPRANDIAL]
+        # The replayed two-edge path lands at mean 170 < 180: a warm miss.
+        seed_paths = [["offset_last_4_by_30", "offset_last_4_by_30"]]
+        plain = self._attack().attack_batch(
+            np.stack([window]), scenarios,
+            constraint=PassConstraint(), seed_paths=seed_paths,
+        )[0]
+        seeded = self._attack().attack_batch(
+            np.stack([window]), scenarios,
+            constraint=PassConstraint(), seed_paths=seed_paths, seed_beam=True,
+        )[0]
+        assert plain.success and seeded.success
+        assert not plain.warm_started and not seeded.warm_started
+        # Plain fallback: screen(1) + warm endpoint(1) + 3 greedy depths from
+        # the benign window (1 edge each) = 5.  Seeded fallback resumes at
+        # the 170-score endpoint: screen(1) + warm(1) + 1 depth = 3.
+        assert plain.queries == 5
+        assert seeded.queries == 3
+        assert seeded.path == seed_paths[0] + ["offset_last_4_by_30"]
+        assert seeded.adversarial_prediction == pytest.approx(200.0)
+
+    def test_seed_beam_requires_seed_paths(self):
+        with pytest.raises(ValueError, match="seed_beam requires"):
+            self._attack().attack_batch(
+                np.stack([benign_window(110.0)]),
+                [Scenario.POSTPRANDIAL],
+                seed_beam=True,
+            )
+
+    def test_surviving_seed_still_resolves_warm(self):
+        """seed_beam changes nothing for warm *hits*: still 2 queries."""
+        window = benign_window(110.0)
+        result = self._attack().attack_batch(
+            np.stack([window]),
+            [Scenario.POSTPRANDIAL],
+            constraint=PassConstraint(),
+            seed_paths=[["offset_last_4_by_30"] * 3],  # lands at 200 > 180
+            seed_beam=True,
+        )[0]
+        assert result.warm_started and result.success
+        assert result.queries == 2
+
+    def test_online_attacker_validates_seed_beam(self):
+        from repro.serving import OnlineAttacker
+
+        with pytest.raises(ValueError, match="warm_start"):
+            OnlineAttacker({}, warm_start=False, seed_beam=True)
+
+    def test_custom_explorer_without_seed_support_degrades_unseeded(self):
+        """An old-signature bring-your-own explorer never sees seed_entries:
+        a warm miss falls back to its plain search instead of crashing."""
+        from repro.attacks.explorers import ExplorationResult, Explorer
+        from repro.attacks.transformers import SuffixOffsetTransformer
+
+        class LegacyExplorer(Explorer):
+            def search_batch(  # pre-seed_entries signature
+                self, originals, transformers, constraints, score_function,
+                goal_functions, initial_scores=None,
+            ):
+                return [
+                    ExplorationResult(
+                        False, np.array(original, copy=True),
+                        float(initial_scores[index]), [], 0,
+                    )
+                    for index, original in enumerate(originals)
+                ]
+
+        attack = EvasionAttack(
+            MeanTailPredictor(),
+            transformers=[SuffixOffsetTransformer(offsets=(30.0,), suffix_lengths=(4,))],
+            explorer=LegacyExplorer(),
+        )
+        results = attack.attack_batch(
+            np.stack([benign_window(110.0)]),
+            [Scenario.POSTPRANDIAL],
+            constraint=PassConstraint(),
+            seed_paths=[["offset_last_4_by_30", "offset_last_4_by_30"]],  # warm miss
+            seed_beam=True,
+        )
+        assert results[0].eligible and not results[0].success
+        # screen + warm endpoint + 0 explorer queries, no TypeError raised
+        assert results[0].queries == 2

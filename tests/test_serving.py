@@ -843,3 +843,156 @@ class TestAttackerWarmStart:
             if record.warm_started:
                 assert record.success
                 assert record.delivered_cgm != record.benign_cgm
+
+
+class TestSessionChurn:
+    """Devices joining/leaving mid-replay (SessionChurnConfig): staggered
+    joins, disconnect/reconnect segments, close-on-drain — with the drain
+    guarantee (every device delivers its full trace) and scheduler slot
+    recycling exercised at scale."""
+
+    class RecordingScheduler(StreamScheduler):
+        """Logs every (session id, lane slot) allocation for the assertions."""
+
+        def __init__(self):
+            super().__init__()
+            self.allocations = []
+
+        def open_session(self, *args, **kwargs):
+            session = super().open_session(*args, **kwargs)
+            self.allocations.append((session.session_id, session.slot))
+            return session
+
+    def test_invalid_churn_config_rejected(self):
+        from repro.serving import SessionChurnConfig
+
+        with pytest.raises(ValueError):
+            SessionChurnConfig(join_stagger=-1)
+        with pytest.raises(ValueError):
+            SessionChurnConfig(disconnect_every=0)
+        with pytest.raises(ValueError):
+            SessionChurnConfig(reconnect_after=-1)
+
+    def test_drain_guarantee_under_churn(self, aggregate_zoo, tiny_cohort):
+        from repro.serving import SessionChurnConfig
+
+        scheduler = self.RecordingScheduler()
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            scheduler=scheduler,
+            churn=SessionChurnConfig(
+                join_stagger=3, disconnect_every=11, reconnect_after=2
+            ),
+        )
+        max_ticks = 40
+        report = replayer.replay(tiny_cohort, split="test", max_ticks=max_ticks)
+        for record in tiny_cohort:
+            segments = report.segments_for(record.label)
+            # Mid-trace disconnects split the device into several sessions...
+            assert len(segments) == 4  # ceil(40 / 11)
+            assert segments[0].session_id == record.label
+            assert segments[1].session_id == f"{record.label}#1"
+            # ...whose ticks concatenate to the full trace (drain guarantee).
+            assert report.delivered_ticks(record.label) == max_ticks
+            for segment in segments[:-1]:
+                assert segment.n_ticks == 11
+        # Every session was torn down; no slots leaked.
+        assert scheduler.n_sessions == 0
+        assert scheduler.n_lanes == 0
+
+    def test_slots_are_recycled_across_segments(self, aggregate_zoo, tiny_cohort):
+        from repro.serving import SessionChurnConfig
+
+        scheduler = self.RecordingScheduler()
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            scheduler=scheduler,
+            churn=SessionChurnConfig(
+                join_stagger=2, disconnect_every=7, reconnect_after=1
+            ),
+        )
+        replayer.replay(tiny_cohort, split="test", max_ticks=30)
+        # All sessions share the aggregate model (one lane); with churn the
+        # number of session segments far exceeds the number of distinct slots
+        # ever allocated — freed slots were reused by later segments.
+        slots = [slot for _, slot in scheduler.allocations]
+        assert len(scheduler.allocations) > len(set(slots))
+        reused = len(scheduler.allocations) - len(set(slots))
+        assert reused >= len(list(tiny_cohort))  # at least one reuse per device
+
+    def test_reconnected_segment_warms_up_again(self, aggregate_zoo, tiny_cohort):
+        from repro.serving import SessionChurnConfig
+
+        history = aggregate_zoo.aggregate.history
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            churn=SessionChurnConfig(disconnect_every=history + 4, reconnect_after=1),
+        )
+        report = replayer.replay(tiny_cohort, split="test", max_ticks=2 * history + 8)
+        for record in tiny_cohort:
+            segments = report.segments_for(record.label)
+            assert len(segments) >= 2
+            for segment in segments:
+                predictions = segment.predictions()
+                warmup = min(history - 1, len(predictions))
+                # A fresh segment's ring restarts: its first history-1
+                # predictions are NaN again.
+                assert np.isnan(predictions[:warmup]).all()
+
+    def test_churn_composes_with_device_clocks(self, aggregate_zoo, tiny_cohort):
+        from repro.serving import DeviceClockConfig, SessionChurnConfig
+
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            clocks=DeviceClockConfig(drift=0.1, jitter=0.1, dropout=0.1, seed=3),
+            churn=SessionChurnConfig(
+                join_stagger=4, disconnect_every=9, reconnect_after=2
+            ),
+        )
+        max_ticks = 30
+        report = replayer.replay(tiny_cohort, split="test", max_ticks=max_ticks)
+        for record in tiny_cohort:
+            assert report.delivered_ticks(record.label) == max_ticks
+            for segment in report.segments_for(record.label):
+                # Global delivery times stay strictly increasing per device
+                # segment even under jitter + dropout retries.
+                deltas = np.diff(segment.delivered_at)
+                assert (deltas >= 1).all()
+
+    def test_churned_replay_scores_episodes_per_segment(self, aggregate_zoo, tiny_cohort):
+        from repro.serving import SessionChurnConfig
+
+        label = next(iter(tiny_cohort)).label
+        history = aggregate_zoo.aggregate.history
+        # Attack the SECOND segment of the churned device (its session id
+        # carries the #1 suffix); the replay must still attribute episodes.
+        attacker = OnlineAttacker(
+            {f"{label}#1": [AttackEpisode(start=history, duration=6)]},
+            sustain=False,
+        )
+        replayer = StreamReplayer(
+            aggregate_zoo,
+            attacker=attacker,
+            churn=SessionChurnConfig(disconnect_every=20, reconnect_after=1),
+        )
+        report = replayer.replay(
+            tiny_cohort.select([label]), split="test", max_ticks=45
+        )
+        second = report.sessions[f"{label}#1"]
+        assert second.attacked_ticks, "the second segment was never tampered"
+        assert not report.sessions[label].attacked_ticks
+
+    def test_churnless_config_matches_plain_replay(self, aggregate_zoo, tiny_cohort):
+        from repro.serving import SessionChurnConfig
+
+        plain = StreamReplayer(aggregate_zoo).replay(
+            tiny_cohort, split="test", max_ticks=25
+        )
+        churned = StreamReplayer(
+            aggregate_zoo, churn=SessionChurnConfig()
+        ).replay(tiny_cohort, split="test", max_ticks=25)
+        for record in tiny_cohort:
+            left = plain.sessions[record.label]
+            right = churned.sessions[record.label]
+            assert left.delivered_at == right.delivered_at
+            np.testing.assert_array_equal(left.predictions(), right.predictions())
