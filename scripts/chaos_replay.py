@@ -1,0 +1,410 @@
+"""Chaos replay harness: fault mixes x attacks x churn x clocks, end to end.
+
+Runs a declarative scenario suite through the full serving fabric — seeded
+benign sensor faults (:class:`~repro.serving.SensorFaultConfig`), the online
+URET attacker, per-device transmission clocks, session churn, ingress
+validation, and the per-session health state machine — and asserts the
+robustness contract the fault-injection layer promises:
+
+* **No unhandled exceptions.**  Every scenario, including the full-chaos mix,
+  must complete; lane isolation and quarantine are supposed to absorb
+  poisoned streams, not crash the scheduler.
+* **Zero-config inertness.**  A replay with ``SensorFaultConfig()`` (all
+  rates zero) must be *bitwise identical* — samples, predictions, verdicts —
+  to one with no injector at all.
+* **Bounded false-alarm inflation.**  Benign device faults may inflate the
+  detector's benign false-alarm rate by at most
+  :data:`FP_INFLATION_BOUND` over the fault-free baseline.  A detector that
+  confuses glitches with tampering is unusable; this is the paper's
+  false-alarm cost measured under realistic hardware flakiness.
+* **Attack detection preserved.**  Running the same attack campaign on top
+  of benign faults must not drop episode detection below the fault-free
+  campaign's rate minus :data:`DETECTION_DROP_TOLERANCE`.
+
+Writes ``BENCH_chaos.json`` next to the repo root.  Usage::
+
+    PYTHONPATH=src python scripts/chaos_replay.py [--output PATH] [--smoke]
+
+``--smoke`` shrinks every trace so the suite finishes in a few seconds; it is
+wired into CI and (via ``scripts/check_parity.py::run_chaos_smoke``) the
+tier-1 test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import traceback
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import SyntheticOhioT1DM, make_patient_profile
+from repro.detectors import KNNDistanceDetector
+from repro.glucose import GlucoseModelZoo
+from repro.serving import (
+    AttackEpisode,
+    DeviceClockConfig,
+    HealthConfig,
+    IngressConfig,
+    IngressPolicy,
+    OnlineAttacker,
+    SensorFaultConfig,
+    SessionChurnConfig,
+    StreamReplayer,
+    StreamScheduler,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BENCH_PATIENTS = [("A", 5), ("A", 0), ("A", 2)]
+BENCH_SEED = 13
+ZOO_KWARGS = dict(
+    predictor_kwargs=dict(epochs=2, hidden_size=16), train_personalized=False, seed=5
+)
+MADGAN_KWARGS = dict(
+    epochs=5, hidden_size=12, inversion_steps=40, warm_inversion_steps=10, seed=0
+)
+
+#: Samples each device delivers per scenario (``--smoke`` uses the smaller).
+FULL_TICKS = 96
+SMOKE_TICKS = 48
+#: One attack episode per device, in session-tick coordinates.  Start is past
+#: the forecaster's 12-tick warm-up so the attacker has a full context window.
+ATTACK_START = 20
+ATTACK_DURATION = 12
+
+#: Benign hardware-flakiness mix: every non-malformed fault kind at a hazard
+#: that corrupts a visible but minority share of ticks.
+BENIGN_FAULTS = SensorFaultConfig(
+    bias_rate=0.01,
+    stuck_rate=0.01,
+    spike_rate=0.02,
+    drift_rate=0.005,
+    dropout_rate=0.01,
+    seed=29,
+)
+#: Garbage-heavy mix for exercising the ingress policies.
+MALFORMED_FAULTS = SensorFaultConfig(malformed_rate=0.05, spike_rate=0.02, seed=31)
+#: Everything at once (full-chaos scenario).
+CHAOS_FAULTS = SensorFaultConfig(
+    bias_rate=0.01,
+    stuck_rate=0.01,
+    spike_rate=0.02,
+    drift_rate=0.005,
+    dropout_rate=0.01,
+    malformed_rate=0.02,
+    seed=37,
+)
+CHAOS_CLOCKS = DeviceClockConfig(drift=0.1, jitter=0.2, dropout=0.05, seed=7)
+CHAOS_CHURN = SessionChurnConfig(join_stagger=2, disconnect_every=30, reconnect_after=2)
+
+#: The gates (calibrated on this fixture; see ``docs/robustness.md``).
+#: Benign faults push the kNN detector's benign false-alarm rate up by a few
+#: points (spikes and stuck-at runs look anomalous at the sample level); the
+#: bound caps the inflation well below unusable while still failing loudly if
+#: ingress/quarantine regress and garbage starts reaching the detectors.
+FP_INFLATION_BOUND = 0.10
+#: Episode detection under benign faults must match the fault-free campaign
+#: (the fixture detects every episode in both); any slack here would let a
+#: fault-confused pipeline trade detections for false alarms silently.
+DETECTION_DROP_TOLERANCE = 0.0
+
+
+def build_fixture():
+    profiles = [make_patient_profile(subset, pid) for subset, pid in BENCH_PATIENTS]
+    cohort = SyntheticOhioT1DM(
+        train_days=2, test_days=1, seed=BENCH_SEED, profiles=profiles
+    ).generate()
+    zoo = GlucoseModelZoo(**ZOO_KWARGS)
+    zoo.fit(cohort)
+    return cohort, zoo
+
+
+def build_detectors(zoo, cohort, with_madgan: bool = False):
+    """Fitted streaming monitors: kNN on samples, optionally MAD-GAN on windows."""
+    train_windows, _, _ = zoo.dataset.from_cohort(cohort, split="train")
+    detectors = {
+        "knn": (KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :]), "sample")
+    }
+    if with_madgan:
+        from repro.detectors import MADGANDetector
+
+        madgan = MADGANDetector(**MADGAN_KWARGS)
+        madgan.fit(train_windows[::2])
+        detectors["madgan"] = (madgan, "window")
+    return detectors
+
+
+def build_scenarios(with_madgan: bool) -> list:
+    """The declarative scenario suite.
+
+    Each entry is a plain dict; ``run_scenario`` turns it into a configured
+    :class:`StreamReplayer`.  Keys: ``faults`` (SensorFaultConfig or None),
+    ``attack`` (bool), ``clocks``/``churn`` (configs or None), ``health``
+    (bool — per-session state machine + lane isolation), ``ingress``
+    (IngressPolicy or None), ``watchdog`` (int or None), ``madgan`` (bool).
+    """
+    base = dict(
+        faults=None, attack=False, clocks=None, churn=None,
+        health=False, ingress=None, watchdog=None, madgan=False,
+    )
+    scenarios = [
+        dict(base, name="baseline",
+             description="fault-free, attack-free reference replay"),
+        dict(base, name="zero_config", faults=SensorFaultConfig(),
+             description="zero-rate fault config; must be bitwise-identical to baseline"),
+        dict(base, name="attack_only", attack=True,
+             description="URET campaign on every stream, no faults (reference detection rate)"),
+        dict(base, name="benign_faults", faults=BENIGN_FAULTS, health=True,
+             ingress=IngressPolicy.CLAMP,
+             description="benign hardware flakiness under clamp ingress (FP-inflation gate)"),
+        dict(base, name="malformed_reject", faults=MALFORMED_FAULTS, health=True,
+             ingress=IngressPolicy.REJECT,
+             description="garbage-heavy stream, reject policy (drops + quarantine path)"),
+        dict(base, name="malformed_hold", faults=MALFORMED_FAULTS, health=True,
+             ingress=IngressPolicy.HOLD_LAST,
+             description="garbage-heavy stream, hold-last repair policy"),
+        dict(base, name="faults_plus_attack", faults=BENIGN_FAULTS, attack=True,
+             health=True, ingress=IngressPolicy.CLAMP,
+             description="attack campaign on top of benign faults (detection-preservation gate)"),
+        dict(base, name="full_chaos", faults=CHAOS_FAULTS, attack=True,
+             clocks=CHAOS_CLOCKS, churn=CHAOS_CHURN, health=True,
+             ingress=IngressPolicy.CLAMP, watchdog=3, madgan=with_madgan,
+             description="everything at once: faults + attack + churn + device clocks"),
+    ]
+    return scenarios
+
+
+def build_attacker(cohort, n_ticks: int) -> OnlineAttacker:
+    """A fresh campaign (attacker state is per-replay): one episode per device."""
+    duration = min(ATTACK_DURATION, max(n_ticks - ATTACK_START - 1, 1))
+    return OnlineAttacker(
+        {
+            record.label: [AttackEpisode(start=ATTACK_START, duration=duration)]
+            for record in cohort
+        }
+    )
+
+
+def run_scenario(zoo, cohort, detectors, spec: dict, n_ticks: int):
+    scheduler = StreamScheduler(
+        health=HealthConfig() if spec["health"] else None,
+        ingress=IngressConfig(policy=spec["ingress"]) if spec["ingress"] else None,
+    )
+    replayer = StreamReplayer(
+        zoo,
+        detectors=detectors,
+        attacker=build_attacker(cohort, n_ticks) if spec["attack"] else None,
+        scheduler=scheduler,
+        clocks=spec["clocks"],
+        churn=spec["churn"],
+        faults=spec["faults"],
+        divergence_watchdog=spec["watchdog"],
+    )
+    return replayer.replay(cohort, split="test", max_ticks=n_ticks)
+
+
+def report_fingerprint(report) -> dict:
+    """Bitwise-comparable view of a replay (zero-config inertness check)."""
+    fingerprint = {}
+    for session_id, trace in sorted(report.sessions.items()):
+        fingerprint[session_id] = {
+            "samples": np.stack([outcome.sample for outcome in trace.ticks]),
+            "predictions": trace.predictions(),
+            "attacked": trace.attacked_ticks,
+            "flags": {
+                name: [
+                    None if outcome.verdicts[name].warming else bool(outcome.verdicts[name].flagged)
+                    for outcome in trace.ticks
+                ]
+                for name in report.detector_names
+            },
+        }
+    return fingerprint
+
+
+def fingerprints_identical(left: dict, right: dict) -> bool:
+    if left.keys() != right.keys():
+        return False
+    for session_id in left:
+        a, b = left[session_id], right[session_id]
+        if not np.array_equal(a["samples"], b["samples"]):
+            return False
+        if not np.array_equal(a["predictions"], b["predictions"], equal_nan=True):
+            return False
+        if a["attacked"] != b["attacked"] or a["flags"] != b["flags"]:
+            return False
+    return True
+
+
+def summarize(report, spec: dict) -> dict:
+    health = report.health_summary()
+    entry = {
+        "description": spec["description"],
+        "n_sessions": len(report.sessions),
+        "ticks_delivered": int(sum(trace.n_ticks for trace in report.sessions.values())),
+        "faulted_ticks": int(
+            sum(len(trace.faulted_ticks) for trace in report.sessions.values())
+        ),
+        "dropped_ticks": int(
+            sum(len(trace.dropped_ticks) for trace in report.sessions.values())
+        ),
+        "attacked_ticks": int(
+            sum(len(trace.attacked_ticks) for trace in report.sessions.values())
+        ),
+        "quarantines": int(sum(counts["quarantines"] for counts in health.values())),
+        "detectors": {name: report.rollup(name) for name in report.detector_names},
+        "health": health,
+    }
+    return entry
+
+
+def run_suite(n_ticks: int, with_madgan: bool, verbose: bool = True, fixture=None):
+    """Run every scenario and evaluate the gates.
+
+    ``fixture`` is an optional prebuilt ``(cohort, zoo)`` pair (the tier-1
+    smoke passes its own tiny fixture); the benchmark fixture is built when
+    omitted.  Returns ``(report_dict, ok)``; never raises for an in-scenario
+    failure (that is itself gate #1).
+    """
+    def say(message: str) -> None:
+        if verbose:
+            print(message)
+
+    if fixture is None:
+        say("building fixture (cohort + trained aggregate forecaster)...")
+        cohort, zoo = build_fixture()
+    else:
+        cohort, zoo = fixture
+    say("fitting streaming detectors...")
+    detectors = build_detectors(zoo, cohort, with_madgan=with_madgan)
+    knn_only = {"knn": detectors["knn"]}
+
+    scenarios = build_scenarios(with_madgan)
+    results = {}
+    fingerprints = {}
+    failures = {}
+    for spec in scenarios:
+        name = spec["name"]
+        say(f"scenario {name!r}: {spec['description']}...")
+        scenario_detectors = detectors if spec["madgan"] else knn_only
+        try:
+            report = run_scenario(zoo, cohort, scenario_detectors, spec, n_ticks)
+        except Exception as error:  # gate #1: nothing may escape the fabric
+            failures[name] = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            say(f"  UNHANDLED EXCEPTION: {failures[name]}")
+            continue
+        if name in ("baseline", "zero_config"):
+            fingerprints[name] = report_fingerprint(report)
+        results[name] = summarize(report, spec)
+        rollup = results[name]["detectors"]["knn"]
+        say(
+            f"  {results[name]['ticks_delivered']} ticks "
+            f"({results[name]['faulted_ticks']} faulted, "
+            f"{results[name]['dropped_ticks']} dropped, "
+            f"{results[name]['quarantines']} quarantines); "
+            f"knn FA rate {rollup['false_alarm_rate_benign']:.3f}, "
+            f"detection rate {rollup['detection_rate']:.2f}"
+        )
+
+    gates = {}
+    gates["no_unhandled_exceptions"] = {
+        "passed": not failures,
+        "failures": failures,
+    }
+    zero_config_ok = (
+        "baseline" in fingerprints
+        and "zero_config" in fingerprints
+        and fingerprints_identical(fingerprints["baseline"], fingerprints["zero_config"])
+    )
+    gates["zero_config_bitwise_identical"] = {"passed": bool(zero_config_ok)}
+
+    if "baseline" in results and "benign_faults" in results:
+        baseline_fa = results["baseline"]["detectors"]["knn"]["false_alarm_rate_benign"]
+        faulted_fa = results["benign_faults"]["detectors"]["knn"]["false_alarm_rate_benign"]
+        inflation = faulted_fa - baseline_fa
+        gates["fp_inflation_bounded"] = {
+            "passed": bool(inflation <= FP_INFLATION_BOUND),
+            "baseline_false_alarm_rate": baseline_fa,
+            "faulted_false_alarm_rate": faulted_fa,
+            "inflation": inflation,
+            "bound": FP_INFLATION_BOUND,
+        }
+    else:
+        gates["fp_inflation_bounded"] = {"passed": False, "error": "scenario missing"}
+
+    if "attack_only" in results and "faults_plus_attack" in results:
+        clean_rate = results["attack_only"]["detectors"]["knn"]["detection_rate"]
+        chaos_rate = results["faults_plus_attack"]["detectors"]["knn"]["detection_rate"]
+        gates["detection_preserved_under_faults"] = {
+            "passed": bool(chaos_rate >= clean_rate - DETECTION_DROP_TOLERANCE),
+            "fault_free_detection_rate": clean_rate,
+            "faulted_detection_rate": chaos_rate,
+            "tolerance": DETECTION_DROP_TOLERANCE,
+        }
+    else:
+        gates["detection_preserved_under_faults"] = {
+            "passed": False, "error": "scenario missing",
+        }
+
+    ok = all(gate["passed"] for gate in gates.values())
+    report_dict = {
+        "benchmark": "chaos_replay",
+        "config": {
+            "patients": (
+                [record.label for record in cohort]
+                if fixture is not None
+                else ["_".join(map(str, p)) for p in BENCH_PATIENTS]
+            ),
+            "cohort_seed": BENCH_SEED if fixture is None else None,
+            "ticks_per_device": n_ticks,
+            "attack": {"start": ATTACK_START, "duration": ATTACK_DURATION},
+            "with_madgan": with_madgan,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "scenarios": results,
+        "gates": gates,
+        "all_gates_passed": bool(ok),
+    }
+    return report_dict, ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_chaos.json",
+        help="where to write the chaos report (default: repo root)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short traces, kNN only — the CI/tier-1 configuration",
+    )
+    args = parser.parse_args()
+
+    n_ticks = SMOKE_TICKS if args.smoke else FULL_TICKS
+    report, ok = run_suite(n_ticks, with_madgan=not args.smoke)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for name, gate in report["gates"].items():
+        status = "PASS" if gate["passed"] else "FAIL"
+        print(f"gate {name}: {status}")
+    print(f"report -> {args.output}")
+    if not ok:
+        print("CHAOS GATES FAILED")
+        return 1
+    print("all chaos gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

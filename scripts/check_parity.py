@@ -11,7 +11,10 @@ the streaming serving subsystem (scheduler + incremental recurrent state +
 online attacker + streaming detectors) matches the offline fast path on a
 live replay: per-tick predictions within 1e-10 of ``predict`` on the
 delivered windows and detector verdicts identical to the offline
-``predict``.  This is the cheap tripwire between "every PR runs the full
+``predict``.  :func:`run_chaos_smoke` additionally drives the chaos-replay
+scenario suite (benign sensor faults, malformed-sample ingress, attack
+campaigns, churn + device clocks) on the same tiny fixture and asserts every
+robustness gate.  This is the cheap tripwire between "every PR runs the full
 benchmark" and "parity silently regresses": it is wired into the tier-1
 suite (``tests/test_explorer_parity.py`` imports :func:`run_checks`,
 ``tests/test_serving.py`` imports :func:`run_serving_smoke`,
@@ -311,6 +314,36 @@ def run_serving_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 50) -> Dict[s
     }
 
 
+def run_chaos_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str, dict]:
+    """Chaos-harness gate check on the tiny fixture (tier-1 smoke).
+
+    Runs the full declarative scenario suite from ``scripts/chaos_replay.py``
+    — benign sensor faults, malformed-sample ingress policies, the online
+    attack campaign, and the full-chaos churn + device-clock mix — with short
+    traces and the kNN monitor only, then asserts every chaos gate: no
+    unhandled exceptions, zero-config bitwise inertness, bounded false-alarm
+    inflation, and attack detection preserved under faults.
+
+    Returns the gates dict; raises AssertionError on the first violation.
+    """
+    import sys as _sys
+    from pathlib import Path as _Path
+
+    scripts_dir = str(_Path(__file__).resolve().parent)
+    if scripts_dir not in _sys.path:
+        _sys.path.insert(0, scripts_dir)
+    import chaos_replay
+
+    report, ok = chaos_replay.run_suite(
+        n_ticks, with_madgan=False, verbose=False, fixture=(cohort, zoo)
+    )
+    gates = report["gates"]
+    for name, gate in gates.items():
+        assert gate["passed"], f"chaos gate {name!r} failed: {gate}"
+    assert ok, f"chaos gates failed: {gates}"
+    return gates
+
+
 def main() -> int:
     print("building tiny fixture...")
     cohort, zoo = build_fixture()
@@ -346,6 +379,13 @@ def main() -> int:
         f"  max |stream - offline| prediction gap: {serving['max_stream_gap']:.3e} "
         f"({serving['n_sessions']} sessions, {serving['tampered_ticks']} tampered ticks)"
     )
+    print("running chaos smoke (fault mixes + ingress policies + full chaos)...")
+    try:
+        chaos = run_chaos_smoke(zoo, cohort)
+    except AssertionError as error:
+        print(f"CHAOS GATE VIOLATION: {error}")
+        return 1
+    print(f"  all {len(chaos)} chaos gates passed on the tiny fixture")
     print("all parity checks passed")
     return 0
 

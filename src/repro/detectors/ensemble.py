@@ -41,11 +41,56 @@ class VotingEnsembleDetector(AnomalyDetector):
                 detector.fit(windows)
         return self
 
-    def scores(self, windows: np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------------- degradation
+    def active_detectors(self, exclude: Optional[Sequence] = None) -> List[AnomalyDetector]:
+        """The members still voting after dropping ``exclude``.
+
+        ``exclude`` may hold member indices, names, or the detector objects
+        themselves — whatever a health-aware caller has on hand when a
+        member is quarantined or its stream degrades.
+        """
+        if not exclude:
+            return self.detectors
+        dropped = set()
+        for item in exclude:
+            if isinstance(item, (int, np.integer)):
+                dropped.add(int(item))
+            else:
+                for index, detector in enumerate(self.detectors):
+                    if detector is item or getattr(detector, "name", None) == item:
+                        dropped.add(index)
+        active = [d for i, d in enumerate(self.detectors) if i not in dropped]
+        if not active:
+            raise ValueError("cannot exclude every ensemble member")
+        return active
+
+    def effective_min_votes(self, n_active: int) -> int:
+        """Vote threshold renormalized to the surviving member count.
+
+        Preserves the configured vote *fraction*: with 2 of 3 members alive
+        and ``min_votes=2`` the degraded ensemble still needs
+        ``ceil(2 * 2/3) = 2`` votes, while a bare majority config (2-of-3)
+        over 1 survivor degrades to 1-of-1 rather than an impossible 2.
+        """
+        if not 1 <= n_active <= len(self.detectors):
+            raise ValueError("n_active must be between 1 and the number of detectors")
+        fraction = self.min_votes / len(self.detectors)
+        return max(1, int(np.ceil(fraction * n_active - 1e-12)))
+
+    def scores(self, windows: np.ndarray, exclude: Optional[Sequence] = None) -> np.ndarray:
         check_array(windows, "windows", ndim=3, min_samples=1)
-        votes = np.stack([detector.predict(windows) for detector in self.detectors])
+        active = self.active_detectors(exclude)
+        votes = np.stack([detector.predict(windows) for detector in active])
         return votes.mean(axis=0)
 
-    def predict(self, windows: np.ndarray) -> np.ndarray:
-        votes = np.stack([detector.predict(windows) for detector in self.detectors])
-        return (votes.sum(axis=0) >= self.min_votes).astype(int)
+    def predict(self, windows: np.ndarray, exclude: Optional[Sequence] = None) -> np.ndarray:
+        """Majority vote; ``exclude`` drops degraded members and renormalizes.
+
+        With ``exclude`` empty this is exactly the configured
+        ``min_votes``-of-N vote; with members dropped the threshold shrinks
+        proportionally (:meth:`effective_min_votes`) so one quarantined
+        detector cannot silently veto the whole ensemble.
+        """
+        active = self.active_detectors(exclude)
+        votes = np.stack([detector.predict(windows) for detector in active])
+        return (votes.sum(axis=0) >= self.effective_min_votes(len(active))).astype(int)

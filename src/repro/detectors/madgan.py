@@ -260,6 +260,12 @@ class InversionState:
     #: not pending).  Only used when the detector runs with
     #: ``fallback_defer > 0``; see :meth:`MADGANDetector.scores_incremental`.
     pending_cold: int = 0
+    #: Current run of back-to-back ticks whose warm inversion regressed
+    #: (eagerly cold-verified or deferred); reset to 0 by any clean warm
+    #: tick or scheduled cold re-anchor.  The streaming adapter's
+    #: inversion-divergence watchdog compares this against its threshold
+    #: (:class:`repro.detectors.streaming.StreamingDetector`).
+    consecutive_fallbacks: int = 0
 
     def reset(self) -> None:
         """Forget the carried latent; the next call runs a cold inversion."""
@@ -268,6 +274,7 @@ class InversionState:
         self.ticks = 0
         self.fallbacks = 0
         self.pending_cold = 0
+        self.consecutive_fallbacks = 0
 
 
 class MADGANDetector(AnomalyDetector):
@@ -826,6 +833,9 @@ class MADGANDetector(AnomalyDetector):
                 errors[index] = warm_error
                 state.latent = warm_latents[position]
                 if state.pending_cold:
+                    # Awaiting a deferred re-anchor: the divergence run is
+                    # still open (the watchdog counts these ticks too).
+                    state.consecutive_fallbacks += 1
                     if warm_error > scale:
                         # The error grew anomaly-relevant while deferred:
                         # escalate to an immediate cold verification (the
@@ -840,6 +850,7 @@ class MADGANDetector(AnomalyDetector):
                     continue
                 if warm_error > self.warm_fallback_ratio * previous:
                     state.fallbacks += 1
+                    state.consecutive_fallbacks += 1
                     deferrable = (
                         defer
                         and state.error is not None
@@ -858,6 +869,9 @@ class MADGANDetector(AnomalyDetector):
                         # anomaly-relevant regression: re-run cold in this
                         # tick's batch.
                         fallback_indices.append(index)
+                else:
+                    # Clean warm tick: the divergence run (if any) is over.
+                    state.consecutive_fallbacks = 0
 
         # Deferral is decided only after EVERY warm stream has been seen: if
         # any stream opened a cold batch this tick (cold starts, refreshes,
@@ -891,6 +905,10 @@ class MADGANDetector(AnomalyDetector):
                 state = states[index]
                 cold_error = float(cold_errors[position])
                 state.pending_cold = 0
+                if index not in fallback_set:
+                    # A scheduled cold tick (cold start, periodic refresh,
+                    # deferred-flush re-anchor) closes any divergence run.
+                    state.consecutive_fallbacks = 0
                 if index in fallback_set:
                     if cold_error > errors[index]:
                         continue  # the warm result was the better inversion

@@ -41,16 +41,26 @@ class StreamVerdict:
         True while the adapter has not yet buffered a full window (only
         possible for ``unit="window"`` detectors); ``flagged`` is None then.
     flagged:
-        Detector decision for this tick (1 = malicious) once warm.
+        Detector decision for this tick (1 = malicious) once warm.  None on
+        a degraded tick whose detector query failed (see ``degraded``).
     score:
         Continuous anomaly score when the adapter was built with
         ``include_scores=True``; None otherwise.
+    degraded:
+        True when the verdict should not be trusted at face value: the
+        stream's inversion-divergence watchdog tripped (``flagged`` is
+        still the detector's output) or the detector query itself failed
+        under a health-enabled scheduler (``flagged`` is None).  A voting
+        ensemble should renormalize around degraded members
+        (:meth:`repro.detectors.ensemble.VotingEnsembleDetector.predict`
+        with ``exclude``).
     """
 
     tick: int
     warming: bool
     flagged: Optional[bool] = None
     score: Optional[float] = None
+    degraded: bool = False
 
 
 class StreamingDetector:
@@ -79,6 +89,15 @@ class StreamingDetector:
         ``unit="window"`` detectors that expose the API; ``False`` forces
         the stateless cold path; ``True`` raises if the detector cannot do
         it.  The adapter owns exactly one state — one adapter per stream.
+    divergence_watchdog:
+        Mark verdicts ``degraded`` once the stream's incremental inversion
+        has fallen back to a cold re-anchor this many *consecutive* ticks
+        (:attr:`repro.detectors.madgan.InversionState.consecutive_fallbacks`).
+        A stream whose warm inversion keeps diverging is tracking its
+        window badly — its scores still obey the no-inflation fallback
+        guarantee, but a health-aware consumer should weigh them down.
+        None (the default) disables the watchdog; ignored for
+        non-incremental adapters.
     """
 
     def __init__(
@@ -88,6 +107,7 @@ class StreamingDetector:
         history: int = 12,
         include_scores: bool = False,
         incremental: Optional[bool] = None,
+        divergence_watchdog: Optional[int] = None,
     ):
         if unit not in STREAM_UNITS:
             raise ValueError(f"unit must be one of {STREAM_UNITS}, got {unit!r}")
@@ -108,11 +128,16 @@ class StreamingDetector:
                 "fast-path detector exposing the incremental scoring API "
                 "(scores_incremental)"
             )
+        if divergence_watchdog is not None and divergence_watchdog < 1:
+            raise ValueError("divergence_watchdog must be >= 1 or None")
         self.detector = detector
         self.unit = unit
         self.history = int(history)
         self.include_scores = bool(include_scores)
         self.incremental = bool(incremental)
+        self.divergence_watchdog = (
+            None if divergence_watchdog is None else int(divergence_watchdog)
+        )
         self._inversion_state = detector.make_inversion_state() if self.incremental else None
         self._ring = SampleRing(self.history)
         self._ticks = 0
@@ -127,6 +152,18 @@ class StreamingDetector:
     def inversion_state(self):
         """The per-stream incremental carry-over (None for stateless adapters)."""
         return self._inversion_state
+
+    def watchdog_tripped(self) -> bool:
+        """True when the inversion-divergence watchdog says "degraded".
+
+        Always False without ``divergence_watchdog`` or for non-incremental
+        adapters; otherwise compares the stream's consecutive cold-fallback
+        count against the configured threshold.
+        """
+        if self.divergence_watchdog is None or self._inversion_state is None:
+            return False
+        consecutive = getattr(self._inversion_state, "consecutive_fallbacks", 0)
+        return consecutive >= self.divergence_watchdog
 
     def reset(self) -> None:
         """Forget all buffered history (the detector itself is untouched)."""
@@ -189,7 +226,11 @@ class StreamingDetector:
             )
             score = float(scores[0]) if self.include_scores else None
             return StreamVerdict(
-                tick=tick, warming=False, flagged=bool(flags[0]), score=score
+                tick=tick,
+                warming=False,
+                flagged=bool(flags[0]),
+                score=score,
+                degraded=self.watchdog_tripped(),
             )
         flagged = bool(self.detector.predict(view)[0])
         score = float(self.detector.scores(view)[0]) if self.include_scores else None

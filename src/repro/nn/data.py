@@ -13,6 +13,17 @@ from repro.utils.validation import check_consistent_length
 class BatchIterator:
     """Iterate over aligned arrays in (optionally shuffled) mini-batches.
 
+    Batches are gathered into **preallocated per-iterator buffers** instead
+    of fancy-index copies: every training epoch used to allocate a fresh
+    ``(batch, T, F)`` array per batch (the dominant allocation churn of the
+    fused training loop), while the gather buffers are allocated once and
+    reused for the iterator's whole lifetime.  The yielded arrays are
+    therefore *views into reused storage* — valid until the next batch is
+    drawn.  Training loops (``FusedTrainer.step``, the graph twin, the GAN
+    steps) consume each batch fully before advancing, so nothing changes
+    for them; a caller that retains batches across iterations must
+    ``.copy()`` them.
+
     Parameters
     ----------
     inputs, targets:
@@ -47,6 +58,15 @@ class BatchIterator:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = as_random_state(seed)
+        # Preallocated gather buffers (see class docstring); the last ragged
+        # batch is served as a leading slice of the same storage.
+        size = min(batch_size, len(self.inputs)) or 1
+        self._input_buffer = np.empty((size,) + self.inputs.shape[1:])
+        self._target_buffer = (
+            None
+            if self.targets is None
+            else np.empty((size,) + self.targets.shape[1:])
+        )
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.inputs), self.batch_size)
@@ -61,8 +81,14 @@ class BatchIterator:
             order = self._rng.permutation(order)
         for start in range(0, count, self.batch_size):
             index = order[start : start + self.batch_size]
-            if self.drop_last and len(index) < self.batch_size:
+            n = len(index)
+            if self.drop_last and n < self.batch_size:
                 break
-            batch_inputs = self.inputs[index]
-            batch_targets = None if self.targets is None else self.targets[index]
+            batch_inputs = self._input_buffer[:n]
+            np.take(self.inputs, index, axis=0, out=batch_inputs)
+            if self.targets is None:
+                batch_targets = None
+            else:
+                batch_targets = self._target_buffer[:n]
+                np.take(self.targets, index, axis=0, out=batch_targets)
             yield batch_inputs, batch_targets

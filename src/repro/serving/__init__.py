@@ -21,6 +21,16 @@ windows.  This package is the serving layer that closes the gap:
     traces, with optional attack episodes and streaming detectors, and
     reports the paper's trace-level TP/FN breakdown plus per-episode
     detection latency.
+``faults``
+    :class:`FaultInjector` — seeded, reproducible *benign* sensor faults
+    (bias, stuck-at, spikes, drift, dropout bursts, malformed samples) a
+    detector must NOT confuse with tampering; composes with device clocks
+    and session churn.
+``health``
+    Graceful degradation: ingress validation, the per-session
+    :class:`SessionHealth` state machine (healthy → degraded → quarantined
+    → recovered), and checkpoint validation gates.  See
+    ``docs/robustness.md``.
 
 Every streamed prediction is pinned to the offline fast path
 (:meth:`GlucosePredictor.predict`) within 1e-10, and streaming detector
@@ -29,8 +39,25 @@ pins live in ``tests/test_serving.py`` and ``scripts/check_parity.py``.
 """
 
 from repro.serving.session import PatientSession, SessionTick
-from repro.serving.scheduler import StreamScheduler
+from repro.serving.scheduler import SchedulerTickError, StreamScheduler
 from repro.serving.attacker import AttackEpisode, OnlineAttacker, TamperRecord
+from repro.serving.faults import (
+    DeviceFaultPlan,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    SensorFaultConfig,
+)
+from repro.serving.health import (
+    CheckpointError,
+    HealthConfig,
+    HealthEvent,
+    HealthState,
+    IngressConfig,
+    IngressPolicy,
+    SessionHealth,
+    validate_checkpoint,
+)
 from repro.serving.replay import (
     DeviceClockConfig,
     SessionChurnConfig,
@@ -44,9 +71,23 @@ __all__ = [
     "PatientSession",
     "SessionTick",
     "StreamScheduler",
+    "SchedulerTickError",
     "AttackEpisode",
     "OnlineAttacker",
     "TamperRecord",
+    "DeviceFaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "SensorFaultConfig",
+    "CheckpointError",
+    "HealthConfig",
+    "HealthEvent",
+    "HealthState",
+    "IngressConfig",
+    "IngressPolicy",
+    "SessionHealth",
+    "validate_checkpoint",
     "DeviceClockConfig",
     "SessionChurnConfig",
     "EpisodeOutcome",

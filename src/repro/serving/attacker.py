@@ -230,6 +230,11 @@ class OnlineAttacker:
             context = session.context_window(benign_sample)
             if context is None:  # not enough delivered history to form a window
                 continue
+            if not np.all(np.isfinite(context)):
+                # A malformed (NaN / inf) sample is in flight or in recent
+                # history — the evasion search would only propagate garbage
+                # through the model, so the attacker sits this tick out.
+                continue
             attack = self._attack_for(session)
             key = (id(attack), scenario)
             group = groups.setdefault(

@@ -27,6 +27,7 @@ from repro.eval.metrics import ConfusionMatrix, confusion_matrix
 from repro.glucose.models import GlucoseModelZoo
 from repro.glucose.states import Scenario, scenario_for_samples
 from repro.serving.attacker import AttackEpisode, OnlineAttacker
+from repro.serving.faults import FaultInjector, SensorFaultConfig
 from repro.serving.scheduler import StreamScheduler
 from repro.serving.session import SessionTick
 
@@ -147,10 +148,23 @@ class ReplaySessionTrace:
     ticks: List[SessionTick] = field(default_factory=list)
     scenarios: List[Scenario] = field(default_factory=list)
     delivered_at: List[int] = field(default_factory=list)
+    #: The session's health state transitions (empty without a
+    #: health-enabled scheduler); captured when the session closes.
+    health_timeline: List = field(default_factory=list)
 
     @property
     def n_ticks(self) -> int:
         return len(self.ticks)
+
+    @property
+    def faulted_ticks(self) -> List[int]:
+        """Session ticks carrying a benign sensor fault."""
+        return [outcome.tick for outcome in self.ticks if outcome.fault]
+
+    @property
+    def dropped_ticks(self) -> List[int]:
+        """Session ticks refused by ingress validation or quarantine."""
+        return [outcome.tick for outcome in self.ticks if outcome.dropped]
 
     @property
     def missed_slots(self) -> int:
@@ -301,6 +315,60 @@ class ReplayReport:
             return float("nan")
         return float(np.mean([outcome.detected for outcome in outcomes]))
 
+    # ------------------------------------------------------------- robustness
+    def benign_false_alarms(self, detector: str, faulted_only: bool = False) -> Tuple[int, int]:
+        """``(false alarms, benign ticks scored)`` for one detector.
+
+        ``faulted_only`` restricts the count to benign ticks carrying a
+        sensor fault — the ticks a fault-confused detector would flag.  The
+        paper's false-alarm cost is the rate ``false alarms / benign ticks``.
+        """
+        alarms = 0
+        scored = 0
+        for _, outcome, verdict in self._iter_verdicts(detector):
+            if outcome.attacked:
+                continue
+            if faulted_only and not outcome.fault:
+                continue
+            scored += 1
+            if verdict.flagged:
+                alarms += 1
+        return alarms, scored
+
+    def health_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-session counts of dropped/faulted/errored ticks and quarantines."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for session_id, trace in self.sessions.items():
+            # HealthState is a str-Enum, so this matches the enum member.
+            quarantines = sum(
+                1 for event in trace.health_timeline if event.state == "quarantined"
+            )
+            summary[session_id] = {
+                "ticks": trace.n_ticks,
+                "dropped": len(trace.dropped_ticks),
+                "faulted": len(trace.faulted_ticks),
+                "errors": sum(1 for outcome in trace.ticks if outcome.error),
+                "quarantines": quarantines,
+            }
+        return summary
+
+    def rollup(self, detector: str) -> Dict[str, float]:
+        """One detector's chaos-harness roll-up: TP/FP, false-alarm cost, latency."""
+        confusion = self.confusion(detector)
+        alarms, benign = self.benign_false_alarms(detector)
+        fault_alarms, faulted = self.benign_false_alarms(detector, faulted_only=True)
+        return {
+            "true_positives": float(confusion.true_positives),
+            "false_positives": float(confusion.false_positives),
+            "true_negatives": float(confusion.true_negatives),
+            "false_negatives": float(confusion.false_negatives),
+            "false_positive_rate": float(confusion.false_positive_rate),
+            "false_alarm_rate_benign": alarms / benign if benign else 0.0,
+            "false_alarm_rate_faulted": fault_alarms / faulted if faulted else 0.0,
+            "detection_rate": self.detection_rate(detector),
+            "mean_detection_latency": self.mean_detection_latency(detector),
+        }
+
 
 class StreamReplayer:
     """Drive live sessions from simulated patient traces.
@@ -333,6 +401,24 @@ class StreamReplayer:
         recycling at scale; None keeps every session open for the whole
         replay, the previous behavior.  Every device still delivers its
         full trace (the drain guarantee; ``tests/test_serving.py`` pins it).
+    faults:
+        Optional :class:`~repro.serving.faults.SensorFaultConfig` (or a
+        prebuilt :class:`~repro.serving.faults.FaultInjector`) corrupting
+        each device's trace with seeded *benign* sensor faults — bias,
+        stuck-at, spikes, drift, dropout delivery delays, malformed samples
+        — **upstream of the attacker**.  The faulted sample is the benign
+        truth for attack accounting (a glitchy sensor is not an attack), so
+        benign faults inflate only the false-alarm side of the report.
+        Fault plans are drawn per device label (independent of delivery
+        order), so they compose with ``clocks`` and ``churn`` without
+        changing which faulted value position ``p`` delivers.  None — or
+        the zero config — replays bitwise-identical to no injector at all
+        (``tests/test_serving_faults.py`` pins this).
+    divergence_watchdog:
+        Optional K forwarded to every session's
+        :class:`~repro.detectors.streaming.StreamingDetector` adapters:
+        incremental streams report ``degraded`` verdicts after K
+        consecutive cold fallbacks.  None disables the watchdog.
     """
 
     def __init__(
@@ -343,6 +429,8 @@ class StreamReplayer:
         scheduler: Optional[StreamScheduler] = None,
         clocks: Optional[DeviceClockConfig] = None,
         churn: Optional[SessionChurnConfig] = None,
+        faults: Optional[SensorFaultConfig] = None,
+        divergence_watchdog: Optional[int] = None,
     ):
         self.zoo = zoo
         self.detectors = dict(detectors or {})
@@ -350,6 +438,11 @@ class StreamReplayer:
         self.scheduler = scheduler
         self.clocks = clocks
         self.churn = churn
+        if faults is None or isinstance(faults, FaultInjector):
+            self.faults = faults
+        else:
+            self.faults = FaultInjector(faults)
+        self.divergence_watchdog = divergence_watchdog
 
     def replay(
         self,
@@ -368,6 +461,7 @@ class StreamReplayer:
         scheduler = self.scheduler or StreamScheduler()
         report = ReplayReport(detector_names=list(self.detectors))
         churn = self.churn
+        injector = self.faults if self.faults is not None and self.faults.enabled else None
 
         traces: List[dict] = []
         try:
@@ -392,6 +486,17 @@ class StreamReplayer:
                         ),
                         "next_time": 0.0,
                         "period": 1.0,
+                        # Benign sensor faults: the device's materialized
+                        # plan and its last transmitted (post-fault) CGM —
+                        # the stuck-at hold value, persisted across churn
+                        # segments (the *device* is stuck, not the session).
+                        "fault_plan": (
+                            injector.plan_for(record.label, len(features))
+                            if injector is not None
+                            else None
+                        ),
+                        "held_cgm": None,
+                        "fault_delayed": None,
                     }
                 )
             if not traces:
@@ -414,7 +519,10 @@ class StreamReplayer:
                 session_id = label if segment == 0 else f"{label}#{segment}"
                 adapters = {
                     name: StreamingDetector(
-                        detector, unit=unit, history=self.zoo.dataset.history
+                        detector,
+                        unit=unit,
+                        history=self.zoo.dataset.history,
+                        divergence_watchdog=self.divergence_watchdog,
                     )
                     for name, (detector, unit) in self.detectors.items()
                 }
@@ -431,24 +539,43 @@ class StreamReplayer:
                     session_id=session_id, patient_label=label
                 )
 
+            def capture_health(session) -> None:
+                if session.health is not None:
+                    report.sessions[session.session_id].health_timeline = list(
+                        session.health.timeline
+                    )
+
             def close_segment(trace: dict) -> None:
+                capture_health(trace["session"])
                 scheduler.close_session(trace["session"].session_id)
                 trace["session"] = None
 
             n_longest = max(len(trace["features"]) for trace in traces)
+            # Fault dropout bursts delay deliveries by a known, precomputed
+            # number of global ticks; the worst single device extends every
+            # cap exactly.
+            max_fault_delay = max(
+                (
+                    trace["fault_plan"].total_delay()
+                    for trace in traces
+                    if trace["fault_plan"] is not None
+                ),
+                default=0,
+            )
             # The replay runs until every device drains its trace.  The cap is
             # a safety valve only: four times the mean-based bound (per-sample
             # period + jitter, inflated by retried dropouts, plus join stagger
             # and reconnect downtime) — a replay that exceeds it raises
             # instead of silently reporting partial traces.
             if clocks is None and churn is None:
-                safety_cap = n_longest
+                safety_cap = n_longest + max_fault_delay
             else:
                 bound = int(
                     np.ceil(
                         n_longest * (1.0 + drift + jitter) / max(1.0 - dropout, 0.05)
                     )
                 )
+                bound += max_fault_delay
                 if churn is not None:
                     bound += (len(traces) - 1) * churn.join_stagger
                     if churn.disconnect_every is not None:
@@ -467,10 +594,20 @@ class StreamReplayer:
                 if not live:
                     break
                 if global_tick >= safety_cap:
-                    undrained = [trace["label"] for trace in live]
+                    undrained = ", ".join(
+                        f"{trace['label']!r} at sample "
+                        f"{trace['position']}/{len(trace['features'])}"
+                        + (
+                            f" (session {trace['session'].session_id!r}, "
+                            f"tick {trace['session'].ticks})"
+                            if trace["session"] is not None
+                            else " (offline)"
+                        )
+                        for trace in live
+                    )
                     raise RuntimeError(
                         f"replay exceeded its safety cap of {safety_cap} global "
-                        f"ticks with devices {undrained} still undrained "
+                        f"ticks with devices [{undrained}] still undrained "
                         f"(drift={drift}, jitter={jitter}, dropout={dropout}, "
                         f"churn={churn})"
                     )
@@ -485,6 +622,16 @@ class StreamReplayer:
                 ]
                 delivering = []
                 for trace in due:
+                    plan = trace["fault_plan"]
+                    if plan is not None and trace["fault_delayed"] != trace["position"]:
+                        delay = plan.delay_at(trace["position"])
+                        if delay > 0:
+                            # Dropout burst: the device goes dark for `delay`
+                            # global ticks, then transmits this same sample
+                            # (delayed, never skipped — like clock dropouts).
+                            trace["fault_delayed"] = trace["position"]
+                            trace["next_time"] = float(global_tick + delay)
+                            continue
                     if dropout and float(rng.uniform(0.0, 1.0)) < dropout:
                         # Lost transmission: the sample is delayed one global
                         # tick, not skipped (CGM traces are a sequence).
@@ -494,16 +641,31 @@ class StreamReplayer:
                 if not delivering:
                     continue
 
-                benign = {
-                    trace["session"].session_id: trace["features"][trace["position"]]
-                    for trace in delivering
-                }
+                # What the sensor transmitted this tick: the recorded sample,
+                # corrupted by any active benign fault.  This is the benign
+                # truth for attack accounting — the attacker sits downstream
+                # on the CGM→pump link and tampers the (faulty) transmission.
+                benign = {}
+                fault_kinds = {}
+                for trace in delivering:
+                    session_id = trace["session"].session_id
+                    sample = trace["features"][trace["position"]]
+                    plan = trace["fault_plan"]
+                    if plan is not None:
+                        sample, kinds, trace["held_cgm"] = plan.apply(
+                            trace["position"], sample, trace["held_cgm"]
+                        )
+                        if kinds:
+                            fault_kinds[session_id] = tuple(
+                                kind.value for kind in kinds
+                            )
+                    benign[session_id] = sample
                 if self.attacker is not None:
                     delivered = self.attacker.intercept(
                         [
                             (
                                 trace["session"],
-                                trace["features"][trace["position"]],
+                                benign[trace["session"].session_id],
                                 trace["scenarios"][trace["position"]],
                             )
                             for trace in delivering
@@ -516,9 +678,24 @@ class StreamReplayer:
                     session_id = trace["session"].session_id
                     position = trace["position"]
                     outcome = outcomes[session_id]
-                    outcome.attacked = not np.array_equal(
-                        outcome.sample, np.asarray(benign[session_id], dtype=np.float64)
-                    )
+                    outcome.fault = fault_kinds.get(session_id, ())
+                    # Attacked = the attacker changed the transmission; an
+                    # ingress-repaired (clamped/held) or dropped tick is
+                    # judged on what *arrived* at the gateway, not on what
+                    # the gateway then made of it.
+                    # equal_nan: a malformed (NaN) benign fault delivered
+                    # untouched must not read as tampering.
+                    benign_sample = np.asarray(benign[session_id], dtype=np.float64)
+                    if outcome.ingress is None and not outcome.dropped:
+                        outcome.attacked = not np.array_equal(
+                            outcome.sample, benign_sample, equal_nan=True
+                        )
+                    else:
+                        outcome.attacked = not np.array_equal(
+                            np.asarray(delivered[session_id], dtype=np.float64),
+                            benign_sample,
+                            equal_nan=True,
+                        )
                     session_trace = report.sessions[session_id]
                     session_trace.ticks.append(outcome)
                     session_trace.delivered_at.append(global_tick)
@@ -551,7 +728,12 @@ class StreamReplayer:
             # must not leak sessions/slots into a bring-your-own scheduler.
             for trace in traces:
                 if trace["session"] is not None:
-                    scheduler.close_session(trace["session"].session_id)
+                    session = trace["session"]
+                    if session.health is not None and session.session_id in report.sessions:
+                        report.sessions[session.session_id].health_timeline = list(
+                            session.health.timeline
+                        )
+                    scheduler.close_session(session.session_id)
         return report
 
     # ------------------------------------------------------------------ helpers

@@ -14,6 +14,16 @@ that share an underlying detector object into one ``predict`` per detector.
 Capacity is dynamic: lanes double their slot arrays when full and recycle the
 slots of closed sessions, so thousands of sessions can come and go without
 rebuilding any state.
+
+Graceful degradation (``repro.serving.health``) threads through the tick:
+with a :class:`~repro.serving.health.HealthConfig` and/or
+:class:`~repro.serving.health.IngressConfig` the scheduler validates every
+sample before it can touch recurrent state, isolates lane/detector failures
+to the sessions they hit (quarantining them while every other lane ticks
+on), and re-admits quarantined sessions after a bounded backoff.  With
+neither configured the tick path is byte-for-byte the pre-robustness one;
+failures then surface as :class:`SchedulerTickError` naming the offending
+sessions and ticks instead of an anonymous traceback.
 """
 
 from __future__ import annotations
@@ -25,10 +35,36 @@ import numpy as np
 
 from repro.glucose.predictor import GlucosePredictor
 from repro.detectors.streaming import StreamVerdict
+from repro.serving.health import (
+    HealthConfig,
+    IngressConfig,
+    SessionHealth,
+    validate_checkpoint,
+)
 from repro.serving.session import PatientSession, SessionTick
 
 #: Initial number of slots a fresh lane allocates.
 _INITIAL_LANE_CAPACITY = 4
+
+
+class SchedulerTickError(RuntimeError):
+    """A tick failed for named sessions (raised when health isolation is off).
+
+    Wraps the underlying exception with the session labels and tick indices
+    it poisoned, so a fleet-scale failure is attributable to a stream
+    instead of an anonymous traceback.
+    """
+
+    def __init__(self, stage: str, sessions, exc: BaseException):
+        self.stage = stage
+        self.session_ids = [session.session_id for session in sessions]
+        self.ticks = [session.ticks for session in sessions]
+        detail = ", ".join(
+            f"{session.session_id!r}@tick {session.ticks}" for session in sessions
+        )
+        super().__init__(
+            f"{stage} failed for session(s) {detail}: {type(exc).__name__}: {exc}"
+        )
 
 
 class _Lane:
@@ -74,10 +110,36 @@ class StreamScheduler:
         (``tests/test_serving.py`` pins this); only the per-tick Python
         overhead differs.  Set False to force every tick through the
         batched path (benchmark/parity use).
+    health:
+        Optional :class:`~repro.serving.health.HealthConfig`.  Every opened
+        session gets a :class:`~repro.serving.health.SessionHealth` state
+        machine; errors (ingress rejections, lane/detector exceptions,
+        non-finite predictions) degrade and eventually quarantine the
+        session — its lane slot, ring, and adapters are reset and its
+        deliveries dropped until a bounded backoff re-admits it — while
+        every other session keeps ticking.  None (the default) disables all
+        health bookkeeping: failures raise :class:`SchedulerTickError`.
+    ingress:
+        Optional :class:`~repro.serving.health.IngressConfig` validating
+        every delivered sample before any model or detector sees it.  None
+        admits samples unchecked (the previous behavior).
+    validate_checkpoints:
+        When True, :meth:`open_session` refuses predictors whose weights or
+        scaler statistics contain non-finite values
+        (:func:`~repro.serving.health.validate_checkpoint`).
     """
 
-    def __init__(self, use_single_fast_path: bool = True):
+    def __init__(
+        self,
+        use_single_fast_path: bool = True,
+        health: Optional[HealthConfig] = None,
+        ingress: Optional[IngressConfig] = None,
+        validate_checkpoints: bool = False,
+    ):
         self.use_single_fast_path = bool(use_single_fast_path)
+        self.health = health
+        self.ingress = ingress
+        self.validate_checkpoints = bool(validate_checkpoints)
         self._lanes: Dict[str, _Lane] = {}
         self._sessions: Dict[str, PatientSession] = {}
 
@@ -88,21 +150,35 @@ class StreamScheduler:
         predictor: GlucosePredictor,
         detectors=None,
         session_id: Optional[str] = None,
+        expected_state_hash: Optional[str] = None,
     ) -> PatientSession:
         """Register a new live stream served by ``predictor``.
 
         Sessions landing on models with equal :meth:`GlucosePredictor.state_hash`
         share a lane (and therefore a stacked model step) even when the
         predictor objects are distinct.
+
+        ``expected_state_hash`` pins the model this session must be served
+        by: the predictor is validated (hash match + non-finite weight scan)
+        and rejected with :class:`~repro.serving.health.CheckpointError` on
+        mismatch — as is any corrupted checkpoint when the scheduler runs
+        with ``validate_checkpoints=True``.
         """
         session_id = str(session_id if session_id is not None else patient_label)
         if session_id in self._sessions:
             raise ValueError(f"session id {session_id!r} already exists")
-        lane_key = predictor.state_hash()
+        if self.validate_checkpoints or expected_state_hash is not None:
+            # validate_checkpoint returns the hash it verified, so the lane
+            # key costs no second digest.
+            lane_key = validate_checkpoint(predictor, expected_state_hash)
+        else:
+            lane_key = predictor.state_hash()
         lane = self._lanes.get(lane_key)
         if lane is None:
             lane = self._lanes[lane_key] = _Lane(predictor)
         session = PatientSession(session_id, patient_label, predictor, detectors=detectors)
+        if self.health is not None:
+            session.health = SessionHealth(self.health)
         slot = lane.allocate(session)
         session._attach(self, lane_key, slot)
         self._sessions[session_id] = session
@@ -129,6 +205,122 @@ class StreamScheduler:
     def session(self, session_id: str) -> PatientSession:
         return self._sessions[str(session_id)]
 
+    # ----------------------------------------------------------------- health
+    def _quarantine_session(self, session: PatientSession) -> None:
+        """Reset a quarantined session's per-stream state (it may be corrupt)."""
+        session._reset_stream_state()
+        lane = self._lanes[session._lane_key]
+        lane.state.reset_slots(np.array([session._slot]))
+
+    def _dropped_tick(
+        self, session: PatientSession, sample: np.ndarray, ingress: str, error=None
+    ) -> SessionTick:
+        """Advance the session's tick counter without serving the sample."""
+        tick_index = session.ticks
+        session.ticks += 1
+        return SessionTick(
+            session_id=session.session_id,
+            tick=tick_index,
+            sample=np.array(sample, dtype=np.float64, copy=True),
+            prediction=None,
+            ingress=ingress,
+            dropped=True,
+            error=error,
+        )
+
+    def _admit(
+        self, samples: Mapping[str, np.ndarray]
+    ) -> Tuple[List[Tuple[PatientSession, np.ndarray, Optional[str]]], Dict[str, SessionTick]]:
+        """Validate/gate one tick's deliveries before any state is touched.
+
+        Returns the admitted ``(session, sample, ingress_tag)`` triples (in
+        delivery order) plus the dropped :class:`SessionTick` outcomes for
+        quarantined or rejected deliveries.  With neither health nor ingress
+        configured this is exactly the old per-delivery shape validation.
+        """
+        admitted: List[Tuple[PatientSession, np.ndarray, Optional[str]]] = []
+        dropped: Dict[str, SessionTick] = {}
+        for session_id, sample in samples.items():
+            session = self._sessions[str(session_id)]
+            sample = np.asarray(sample, dtype=np.float64)
+            if sample.shape != (session.predictor.n_features,):
+                raise ValueError(
+                    f"sample for session {session_id!r} must have shape "
+                    f"({session.predictor.n_features},), got {sample.shape}"
+                )
+            health = session.health
+            if health is not None and health.blocked:
+                if not health.admit(session.ticks):
+                    dropped[session.session_id] = self._dropped_tick(
+                        session, sample, ingress="quarantined"
+                    )
+                    continue
+                # Re-admitted on probation: this very delivery is served.
+            tag: Optional[str] = None
+            if self.ingress is not None:
+                delivered, tag = self.ingress.validate(sample, session.last_sample)
+                if delivered is None:
+                    outcome = self._dropped_tick(session, sample, ingress="rejected")
+                    dropped[session.session_id] = outcome
+                    if health is not None:
+                        health.record_error(outcome.tick, "ingress: rejected sample")
+                        if health.blocked:
+                            self._quarantine_session(session)
+                    continue
+                if tag is not None:
+                    sample = delivered
+                    if health is not None:
+                        health.record_error(session.ticks, f"ingress: {tag} sample")
+                        if health.blocked:
+                            outcome = self._dropped_tick(
+                                session, sample, ingress="quarantined"
+                            )
+                            dropped[session.session_id] = outcome
+                            self._quarantine_session(session)
+                            continue
+            admitted.append((session, sample, tag))
+        return admitted, dropped
+
+    def _health_after_step(self, session: PatientSession, outcome: SessionTick) -> None:
+        """Post-step bookkeeping: non-finite predictions are errors."""
+        health = session.health
+        if health is None:
+            return
+        # A None prediction is legitimate only while the stream warms up;
+        # once the session's window ring is full a non-finite prediction
+        # means the recurrent state is poisoned (e.g. a NaN slipped in
+        # before ingress validation was enabled).
+        if outcome.prediction is None and session.window() is not None:
+            outcome.error = outcome.error or "non-finite prediction"
+            health.record_error(outcome.tick, "non-finite prediction")
+            if health.blocked:
+                self._quarantine_session(session)
+        else:
+            health.record_clean(outcome.tick)
+
+    def _lane_failure(
+        self,
+        lane_sessions: List[PatientSession],
+        stacked: np.ndarray,
+        exc: BaseException,
+        results: Dict[str, SessionTick],
+    ) -> None:
+        """One lane's stacked step raised: quarantine its sessions or re-raise."""
+        if self.health is None:
+            raise SchedulerTickError("lane step", lane_sessions, exc) from exc
+        for session, sample in zip(lane_sessions, stacked):
+            outcome = self._dropped_tick(
+                session,
+                sample,
+                ingress="quarantined",
+                error=f"lane step: {type(exc).__name__}: {exc}",
+            )
+            results[session.session_id] = outcome
+            # A partially applied stacked step may have corrupted the slot:
+            # quarantine immediately rather than waiting out the threshold.
+            session.health.quarantine_now(outcome.tick, f"lane step raised: {exc}")
+            self._quarantine_session(session)
+
     # ----------------------------------------------------------------- ticking
     def tick(self, samples: Mapping[str, np.ndarray]) -> Dict[str, SessionTick]:
         """Deliver one raw sample to each named session; return their outcomes.
@@ -147,7 +339,9 @@ class StreamScheduler:
         tick's ``prediction`` is None while that stream's window is warming
         up (its first ``history - 1`` delivered samples), then a float in
         mg/dL; window-unit detector verdicts carry ``warming=True`` over the
-        same span.
+        same span.  With health/ingress configured some outcomes may be
+        ``dropped`` (quarantined session, rejected sample) — those ticks ran
+        no model step and carry no verdicts.
 
         All model work is one ``step_stream`` call per lane; all detector
         work is one ``predict`` call per distinct underlying detector object
@@ -156,32 +350,32 @@ class StreamScheduler:
         single-session tick takes the slim fast path instead — see
         ``use_single_fast_path``.
         """
-        if self.use_single_fast_path and len(samples) == 1:
-            ((session_id, sample),) = samples.items()
-            return self._tick_single(session_id, sample)
-        per_lane: Dict[str, List[Tuple[PatientSession, np.ndarray]]] = {}
-        for session_id, sample in samples.items():
-            session = self._sessions[str(session_id)]
-            sample = np.asarray(sample, dtype=np.float64)
-            if sample.shape != (session.predictor.n_features,):
-                raise ValueError(
-                    f"sample for session {session_id!r} must have shape "
-                    f"({session.predictor.n_features},), got {sample.shape}"
-                )
-            per_lane.setdefault(session._lane_key, []).append((session, sample))
+        admitted, results = self._admit(samples)
+        if not admitted:
+            return results
+        if self.use_single_fast_path and len(admitted) == 1:
+            session, sample, tag = admitted[0]
+            results.update(self._tick_single(session, sample, tag))
+            return results
+        per_lane: Dict[str, List[Tuple[PatientSession, np.ndarray, Optional[str]]]] = {}
+        for session, sample, tag in admitted:
+            per_lane.setdefault(session._lane_key, []).append((session, sample, tag))
 
-        results: Dict[str, SessionTick] = {}
         # (detector object id, view shape) -> stacked views + where they go
         pending_views: Dict[tuple, dict] = {}
 
         for lane_key, items in per_lane.items():
             lane = self._lanes[lane_key]
-            lane_sessions = [session for session, _ in items]
-            stacked = np.stack([sample for _, sample in items])
+            lane_sessions = [session for session, _, _ in items]
+            stacked = np.stack([sample for _, sample, _ in items])
             rows = np.array([session._slot for session in lane_sessions])
-            predictions = lane.predictor.step_stream(stacked, lane.state, rows=rows)
+            try:
+                predictions = lane.predictor.step_stream(stacked, lane.state, rows=rows)
+            except Exception as exc:
+                self._lane_failure(lane_sessions, stacked, exc, results)
+                continue
 
-            for session, sample, prediction in zip(lane_sessions, stacked, predictions):
+            for (session, _, tag), sample, prediction in zip(items, stacked, predictions):
                 tick_index = session.ticks
                 session.ticks += 1
                 session._push_raw(sample)
@@ -192,8 +386,10 @@ class StreamScheduler:
                     tick=tick_index,
                     sample=sample.copy(),
                     prediction=value,
+                    ingress=tag,
                 )
                 results[session.session_id] = outcome
+                self._health_after_step(session, outcome)
 
                 for name, adapter in session.detectors.items():
                     detector_tick, view = adapter.prepare(sample)
@@ -211,25 +407,29 @@ class StreamScheduler:
                         },
                     )
                     group["views"].append(view)
-                    group["targets"].append((outcome, name, adapter, detector_tick))
+                    group["targets"].append((outcome, name, adapter, detector_tick, session))
 
         # One batched query per distinct detector object and view shape;
         # incremental adapters additionally thread their per-stream states
         # through the detector's batched incremental call.
         for group in pending_views.values():
             stacked_views = np.concatenate(group["views"])
-            wants_scores = any(adapter.include_scores for _, _, adapter, _ in group["targets"])
-            if group["incremental"]:
-                states = [adapter.inversion_state for _, _, adapter, _ in group["targets"]]
-                flags, scores = group["detector"].predict_incremental(
-                    stacked_views, states, include_scores=True
-                )
-                if not wants_scores:
-                    scores = None
-            else:
-                flags = group["detector"].predict(stacked_views)
-                scores = group["detector"].scores(stacked_views) if wants_scores else None
-            for index, (outcome, name, adapter, detector_tick) in enumerate(group["targets"]):
+            wants_scores = any(adapter.include_scores for _, _, adapter, _, _ in group["targets"])
+            try:
+                if group["incremental"]:
+                    states = [adapter.inversion_state for _, _, adapter, _, _ in group["targets"]]
+                    flags, scores = group["detector"].predict_incremental(
+                        stacked_views, states, include_scores=True
+                    )
+                    if not wants_scores:
+                        scores = None
+                else:
+                    flags = group["detector"].predict(stacked_views)
+                    scores = group["detector"].scores(stacked_views) if wants_scores else None
+            except Exception as exc:
+                self._detector_failure(group["targets"], exc)
+                continue
+            for index, (outcome, name, adapter, detector_tick, _) in enumerate(group["targets"]):
                 score = (
                     float(scores[index])
                     if scores is not None and adapter.include_scores
@@ -240,24 +440,46 @@ class StreamScheduler:
                     warming=False,
                     flagged=bool(flags[index]),
                     score=score,
+                    degraded=adapter.watchdog_tripped(),
                 )
         return results
 
-    def _tick_single(self, session_id: str, sample: np.ndarray) -> Dict[str, SessionTick]:
-        """One-session tick minus the batching scaffolding (same arithmetic)."""
-        session = self._sessions[str(session_id)]
-        sample = np.asarray(sample, dtype=np.float64)
-        if sample.shape != (session.predictor.n_features,):
-            raise ValueError(
-                f"sample for session {session_id!r} must have shape "
-                f"({session.predictor.n_features},), got {sample.shape}"
+    def _detector_failure(self, targets, exc: BaseException) -> None:
+        """One batched detector query raised: degrade its verdicts or re-raise."""
+        if self.health is None:
+            sessions = [session for _, _, _, _, session in targets]
+            raise SchedulerTickError("detector query", sessions, exc) from exc
+        for outcome, name, _, detector_tick, session in targets:
+            outcome.verdicts[name] = StreamVerdict(
+                tick=detector_tick, warming=False, flagged=None, degraded=True
             )
+            outcome.error = f"detector {name!r}: {type(exc).__name__}: {exc}"
+            session.health.record_error(outcome.tick, f"detector {name!r} raised: {exc}")
+            if session.health.blocked:
+                self._quarantine_session(session)
+
+    def _tick_single(
+        self,
+        session: PatientSession,
+        sample: np.ndarray,
+        ingress_tag: Optional[str] = None,
+    ) -> Dict[str, SessionTick]:
+        """One-session tick minus the batching scaffolding (same arithmetic)."""
         lane = self._lanes[session._lane_key]
-        prediction = lane.predictor.step_one(sample, lane.state, session._slot)
+        try:
+            prediction = lane.predictor.step_one(sample, lane.state, session._slot)
+        except Exception as exc:
+            results: Dict[str, SessionTick] = {}
+            self._lane_failure([session], sample[np.newaxis], exc, results)
+            return results
 
         tick_index = session.ticks
         session.ticks += 1
         session._push_raw(sample)
+        if prediction is not None and np.isnan(prediction):
+            # Match the batched path: a non-finite prediction is reported as
+            # None (and flagged by the health machinery), never as NaN.
+            prediction = None
         if prediction is not None:
             session.last_prediction = prediction
         outcome = SessionTick(
@@ -265,9 +487,16 @@ class StreamScheduler:
             tick=tick_index,
             sample=sample.copy(),
             prediction=prediction,
+            ingress=ingress_tag,
         )
+        self._health_after_step(session, outcome)
         for name, adapter in session.detectors.items():
             # With a single stream there is nothing to group: the adapter's
             # own single-stream update IS the batched path's arithmetic.
-            outcome.verdicts[name] = adapter.update(sample)
+            try:
+                outcome.verdicts[name] = adapter.update(sample)
+            except Exception as exc:
+                self._detector_failure(
+                    [(outcome, name, adapter, session.ticks - 1, session)], exc
+                )
         return {session.session_id: outcome}

@@ -36,7 +36,8 @@ class SessionTick:
         Session identity and its 0-based tick counter.
     sample:
         The *delivered* raw sample — what the model and detectors actually
-        saw, i.e. the tampered value when an online attacker intercepted it.
+        saw, i.e. the tampered value when an online attacker intercepted it
+        (for a ``dropped`` tick: the sample that was refused).
     prediction:
         Forecast in mg/dL, or None while the prediction window is warming up.
     verdicts:
@@ -44,6 +45,19 @@ class SessionTick:
     attacked:
         True when the delivered sample differs from the benign one (set by
         the replayer / caller that did the tampering).
+    fault:
+        Benign sensor-fault kinds active on this tick (set by the replayer's
+        :class:`~repro.serving.faults.FaultInjector`); empty when none.
+    ingress:
+        Ingress-validation outcome when the delivered sample was repaired or
+        refused: ``"clamped"``, ``"held"``, ``"rejected"``, or
+        ``"quarantined"``; None for a normally served tick.
+    dropped:
+        True when the tick was never served (ingress rejection or
+        quarantine) — no model step ran, no verdicts exist.
+    error:
+        Short description of the failure that poisoned this tick (lane
+        exception, detector failure, non-finite prediction); None otherwise.
     """
 
     session_id: str
@@ -52,6 +66,10 @@ class SessionTick:
     prediction: Optional[float]
     verdicts: Dict[str, StreamVerdict] = field(default_factory=dict)
     attacked: bool = False
+    fault: tuple = ()
+    ingress: Optional[str] = None
+    dropped: bool = False
+    error: Optional[str] = None
 
 
 class PatientSession:
@@ -86,6 +104,12 @@ class PatientSession:
         self.history = int(predictor.history)
         self.ticks = 0
         self.last_prediction: Optional[float] = None
+        #: Health state machine (set by a health-enabled scheduler; None
+        #: otherwise — the zero-overhead default).
+        self.health = None
+        #: Last successfully delivered raw sample (the ingress hold-last
+        #: source); None until the first delivery.
+        self.last_sample: Optional[np.ndarray] = None
 
         self._ring = SampleRing(self.history)
 
@@ -114,6 +138,21 @@ class PatientSession:
     def _push_raw(self, sample: np.ndarray) -> None:
         """Record a delivered sample in the fixed-size history ring."""
         self._ring.push(sample)
+        self.last_sample = sample
+
+    def _reset_stream_state(self) -> None:
+        """Forget all per-stream history (quarantine: the state may be corrupt).
+
+        The ring, the detector adapters, and the cached last sample are
+        cleared; the owning scheduler resets the lane slot's recurrent state
+        separately.  A re-admitted session warms up from scratch, exactly
+        like a churn reconnect.
+        """
+        self._ring.reset()
+        self.last_sample = None
+        self.last_prediction = None
+        for adapter in self.detectors.values():
+            adapter.reset()
 
     def window(self) -> Optional[np.ndarray]:
         """The last ``history`` delivered samples in time order, or None."""

@@ -229,6 +229,17 @@ class TestOptimizers:
         assert abs(parameter.data[0]) < 1.0
 
 
+def _shuffled_indices(iterator):
+    """Replay one epoch of an iterator's shuffle order (same RNG stream)."""
+    count = len(iterator.inputs)
+    order = iterator._rng.permutation(np.arange(count))
+    for start in range(0, count, iterator.batch_size):
+        index = order[start : start + iterator.batch_size]
+        if iterator.drop_last and len(index) < iterator.batch_size:
+            break
+        yield index
+
+
 class TestBatchIterator:
     def test_batch_shapes(self):
         iterator = BatchIterator(np.arange(10).reshape(10, 1), np.arange(10), batch_size=4, shuffle=False)
@@ -254,8 +265,30 @@ class TestBatchIterator:
 
     def test_covers_all_samples(self):
         data = np.arange(10).reshape(10, 1)
-        seen = np.concatenate([batch[0].reshape(-1) for batch in BatchIterator(data, batch_size=3, seed=0)])
+        # Batches are views into the iterator's reused gather buffer, so a
+        # caller retaining them across iterations must copy.
+        seen = np.concatenate(
+            [batch[0].copy().reshape(-1) for batch in BatchIterator(data, batch_size=3, seed=0)]
+        )
         assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batches_reuse_gather_buffer(self):
+        """The kernel-floor fix: no per-batch allocation, same values as fancy indexing."""
+        data = np.arange(24, dtype=np.float64).reshape(12, 2)
+        targets = np.arange(12, dtype=np.float64)
+        iterator = BatchIterator(data, targets, batch_size=5, seed=7)
+        reference = BatchIterator(data, targets, batch_size=5, seed=7)
+        reference_batches = [
+            (b.copy(), t.copy()) for b, t in
+            ((data[idx], targets[idx]) for idx in _shuffled_indices(reference))
+        ]
+        bases = set()
+        for (batch, target), (expected, expected_target) in zip(iterator, reference_batches):
+            np.testing.assert_array_equal(batch, expected)
+            np.testing.assert_array_equal(target, expected_target)
+            bases.add(id(batch.base if batch.base is not None else batch))
+        # Every full batch aliases the same preallocated storage.
+        assert len(bases) == 1
 
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
