@@ -30,15 +30,30 @@ Two additional configurations cover the streaming hot path's v2 targets:
   previous-tick latent).  Steady-state per-tick cost must drop by >= 3x with
   warm-vs-cold verdicts identical on every tick and the DR score gap bounded.
 
+A multiprocess scale sweep then re-serves a large fleet (``1024`` sessions
+across ``8`` model lanes) through :class:`repro.serving.shard.ShardedScheduler`
+at 1, 2, and 4 worker processes, pinning bitwise prediction parity against the
+single-process scheduler on every pass and reporting per-shard tick-latency
+percentiles (p50/p95/p99) plus throughput vs the single-process baseline.  The
+``>= 2.5x at 4 workers`` throughput gate only applies when the machine
+actually has 4 cores to run them on (``gate_applicable`` in the report records
+the decision); parity is gated unconditionally.
+
 Writes ``BENCH_serving.json`` next to the repo root.  Usage::
 
     PYTHONPATH=src python scripts/bench_serving.py [--output PATH] [--repeats N]
+    PYTHONPATH=src python scripts/bench_serving.py --smoke --workers 2
+
+``--smoke`` is the CI entry: a small sharded-vs-single-process fleet parity
+check at ``--workers`` workers — no timing, no gates, no report file.
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
 import json
+import os
 import platform
 import sys
 import time
@@ -79,6 +94,24 @@ TARGET_INCREMENTAL_SPEEDUP = 3.0
 #: so verdicts cannot flip inside this band).
 INCREMENTAL_SCORE_TOLERANCE = 0.5
 INCREMENTAL_RNG_SEED = 123
+
+#: Sharded scale sweep: sessions spread over distinct model lanes, served at
+#: each worker count with bitwise parity against the single-process scheduler.
+SHARD_SWEEP_SESSIONS = 1024
+SHARD_SWEEP_TICKS = 8
+SHARD_WORKER_COUNTS = (1, 2, 4)
+SHARD_LANES = 8
+TARGET_SHARD_SPEEDUP_AT_4 = 2.5
+#: The 4-worker throughput gate needs 4 cores to be meaningful; below this the
+#: sweep still runs (parity + latency percentiles) but the gate is waived and
+#: recorded as inapplicable.
+SHARD_GATE_MIN_CORES = 4
+
+#: ``--smoke`` fleet size: big enough to spread lanes over workers, small
+#: enough for a CI minute.
+SMOKE_SESSIONS = 24
+SMOKE_TICKS = 6
+SMOKE_LANES = 4
 
 
 def build_fixture():
@@ -279,6 +312,196 @@ def bench_incremental_scoring(zoo, cohort, repeats: int):
     }
 
 
+def available_cores() -> int:
+    """CPU cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def clone_lane_variants(predictor, n_lanes: int):
+    """``n_lanes`` independently-hashed copies of one trained forecaster.
+
+    The sharded fabric places whole lanes — sessions sharing a model state
+    hash — so a fleet served by ONE model is one lane and cannot spread
+    across workers.  Perturbing each clone's weights by ~1e-9 gives every
+    lane a distinct hash without meaningfully changing its forecasts; the
+    parity checks below compare sharded vs single-process on the SAME
+    clones, so bitwise equality is unaffected by the perturbation.
+    """
+    from repro.utils.rng import RandomState
+
+    rng = RandomState(BENCH_SEED).derive("lane-variants")
+    variants = [predictor]
+    for _ in range(1, n_lanes):
+        clone = copy.deepcopy(predictor)
+        for param in clone.model.parameters():
+            param.data = param.data + rng.normal(0.0, 1e-9, size=param.data.shape)
+        variants.append(clone)
+    if len({variant.state_hash() for variant in variants}) != n_lanes:
+        raise RuntimeError("lane variants did not produce distinct state hashes")
+    return variants
+
+
+def run_fleet(scheduler, variants, traces, warmup: int, ticks: int, collect_latencies: bool = False):
+    """Serve every trace through ``scheduler``; returns (seconds, predictions, latencies).
+
+    Sessions are assigned round-robin to the model variants so every lane
+    carries an equal share of the fleet.  ``collect_latencies`` gathers the
+    worker-measured per-shard tick times a :class:`ShardedScheduler` exposes.
+    """
+    ids = [f"s{index:04d}" for index in range(len(traces))]
+    for index, session_id in enumerate(ids):
+        scheduler.open_session(
+            session_id, variants[index % len(variants)], session_id=session_id
+        )
+    for tick in range(warmup):
+        scheduler.tick(
+            {session_id: trace[tick] for session_id, trace in zip(ids, traces)}
+        )
+    predictions = np.full((ticks, len(traces)), np.nan)
+    shard_latencies: dict = {}
+    start = time.perf_counter()
+    for tick in range(ticks):
+        outcomes = scheduler.tick(
+            {session_id: trace[warmup + tick] for session_id, trace in zip(ids, traces)}
+        )
+        if collect_latencies:
+            for shard, seconds in scheduler.last_tick_latencies.items():
+                shard_latencies.setdefault(shard, []).append(seconds)
+        for index, session_id in enumerate(ids):
+            value = outcomes[session_id].prediction
+            predictions[tick, index] = np.nan if value is None else value
+    return time.perf_counter() - start, predictions, shard_latencies
+
+
+def bench_shard_sweep(zoo, cohort, repeats: int):
+    """Scale sweep: the sharded fabric vs the single-process scheduler.
+
+    Every sharded pass must be bitwise identical to the single-process run
+    (the fabric's core contract); timing is best-of ``repeats``.
+    """
+    from repro.serving import ShardedScheduler
+
+    variants = clone_lane_variants(zoo.aggregate, SHARD_LANES)
+    warmup = zoo.aggregate.history
+    ticks = SHARD_SWEEP_TICKS
+    traces = session_traces(cohort, SHARD_SWEEP_SESSIONS, warmup + ticks)
+
+    single_best = float("inf")
+    single_preds = None
+    for _ in range(repeats):
+        seconds, single_preds, _ = run_fleet(
+            StreamScheduler(), variants, traces, warmup, ticks
+        )
+        single_best = min(single_best, seconds)
+
+    sweep = {}
+    for n_workers in SHARD_WORKER_COUNTS:
+        best = float("inf")
+        latencies: dict = {}
+        for _ in range(repeats):
+            fabric = ShardedScheduler(n_shards=n_workers)
+            try:
+                seconds, preds, latencies = run_fleet(
+                    fabric, variants, traces, warmup, ticks, collect_latencies=True
+                )
+            finally:
+                fabric.shutdown()
+            if not np.array_equal(preds, single_preds, equal_nan=True):
+                raise SystemExit(
+                    f"sharded predictions diverged from single-process at "
+                    f"{n_workers} workers"
+                )
+            best = min(best, seconds)
+        per_shard = {
+            str(shard): {
+                "p50_ms": float(np.percentile(values, 50) * 1e3),
+                "p95_ms": float(np.percentile(values, 95) * 1e3),
+                "p99_ms": float(np.percentile(values, 99) * 1e3),
+            }
+            for shard, values in sorted(latencies.items())
+        }
+        sweep[str(n_workers)] = {
+            "workers": n_workers,
+            "seconds": best,
+            "ticks_per_sec": ticks / best,
+            "session_ticks_per_sec": SHARD_SWEEP_SESSIONS * ticks / best,
+            "speedup_vs_single_process": single_best / best,
+            "bitwise_parity": True,  # asserted on every pass above
+            "shards_engaged": len(per_shard),
+            "per_shard_tick_latency_ms": per_shard,
+        }
+        print(
+            f"  {n_workers} worker(s): {ticks / best:.2f} ticks/s "
+            f"({single_best / best:.2f}x single-process, "
+            f"{len(per_shard)} shard(s) engaged, parity bitwise)"
+        )
+
+    cores = available_cores()
+    gate_applicable = cores >= SHARD_GATE_MIN_CORES
+    speedup_at_4 = sweep["4"]["speedup_vs_single_process"]
+    return {
+        "n_sessions": SHARD_SWEEP_SESSIONS,
+        "ticks": ticks,
+        "warmup_ticks": warmup,
+        "n_lanes": SHARD_LANES,
+        "repeats": repeats,
+        "single_process_seconds": single_best,
+        "single_process_ticks_per_sec": ticks / single_best,
+        "workers": sweep,
+        "available_cores": cores,
+        "speedup_at_4_workers": speedup_at_4,
+        "target_speedup_at_4_workers": TARGET_SHARD_SPEEDUP_AT_4,
+        "gate_min_cores": SHARD_GATE_MIN_CORES,
+        "gate_applicable": gate_applicable,
+        "meets_target": (
+            bool(speedup_at_4 >= TARGET_SHARD_SPEEDUP_AT_4) if gate_applicable else None
+        ),
+        "bitwise_parity": True,
+    }
+
+
+def run_smoke(n_workers: int) -> None:
+    """CI smoke: sharded fleet == single-process fleet, bitwise.  No timing."""
+    from repro.serving import ShardedScheduler
+
+    print(f"shard smoke: {SMOKE_SESSIONS} sessions, {n_workers} worker(s)...")
+    profiles = [make_patient_profile(subset, pid) for subset, pid in BENCH_PATIENTS[:2]]
+    cohort = SyntheticOhioT1DM(
+        train_days=1, test_days=1, seed=BENCH_SEED, profiles=profiles
+    ).generate()
+    zoo = GlucoseModelZoo(
+        predictor_kwargs=dict(epochs=1, hidden_size=8),
+        train_personalized=False,
+        seed=5,
+    )
+    zoo.fit(cohort)
+    variants = clone_lane_variants(zoo.aggregate, SMOKE_LANES)
+    warmup = zoo.aggregate.history
+    traces = session_traces(cohort, SMOKE_SESSIONS, warmup + SMOKE_TICKS)
+
+    _, single_preds, _ = run_fleet(
+        StreamScheduler(), variants, traces, warmup, SMOKE_TICKS
+    )
+    fabric = ShardedScheduler(n_shards=n_workers)
+    try:
+        _, sharded_preds, _ = run_fleet(
+            fabric, variants, traces, warmup, SMOKE_TICKS
+        )
+    finally:
+        fabric.shutdown()
+    if not np.array_equal(sharded_preds, single_preds, equal_nan=True):
+        raise SystemExit(
+            f"sharded predictions diverged from single-process at {n_workers} workers"
+        )
+    print(
+        f"  {SMOKE_SESSIONS} sessions x {SMOKE_TICKS} ticks over {SMOKE_LANES} "
+        f"lanes: sharded == single-process bitwise at {n_workers} worker(s)"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -289,9 +512,23 @@ def main() -> None:
         "--repeats", type=int, default=2,
         help="timed repetitions per configuration; the best run is reported",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="parity-only sharded smoke (CI entry): no timing gates, no report file",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count for --smoke (ignored in the full benchmark)",
+    )
     args = parser.parse_args()
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    if args.smoke:
+        run_smoke(args.workers)
+        return
 
     print("building fixture (cohort + trained aggregate forecaster)...")
     cohort, zoo = build_fixture()
@@ -317,6 +554,18 @@ def main() -> None:
         f"({incremental['speedup']:.1f}x, verdicts identical, "
         f"score gap {incremental['max_score_gap']:.3f})"
     )
+
+    print(
+        f"sweeping sharded serving ({SHARD_SWEEP_SESSIONS} sessions, "
+        f"{SHARD_LANES} lanes, workers {SHARD_WORKER_COUNTS})..."
+    )
+    shard_sweep = bench_shard_sweep(zoo, cohort, args.repeats)
+    if not shard_sweep["gate_applicable"]:
+        print(
+            f"  NOTE: {shard_sweep['available_cores']} core(s) available; the "
+            f">= {TARGET_SHARD_SPEEDUP_AT_4:g}x @ 4 workers gate needs "
+            f"{SHARD_GATE_MIN_CORES} and is recorded as inapplicable"
+        )
 
     print("checking streaming detector verdict parity (attacked replay)...")
     from check_parity import run_serving_smoke
@@ -359,6 +608,7 @@ def main() -> None:
                 incremental["speedup"] >= TARGET_INCREMENTAL_SPEEDUP
             ),
         },
+        "shard_sweep": shard_sweep,
         "equivalence": {
             "max_prediction_gap": worst_gap,
             "tolerance": TOLERANCE,
@@ -374,7 +624,12 @@ def main() -> None:
         f"single session: {single_session_speedup:.2f}x "
         f"(target >= {TARGET_SINGLE_SESSION:g}x), "
         f"incremental scoring: {incremental['speedup']:.1f}x "
-        f"(target >= {TARGET_INCREMENTAL_SPEEDUP:g}x) -> {args.output}"
+        f"(target >= {TARGET_INCREMENTAL_SPEEDUP:g}x), "
+        f"shard sweep at 4 workers: "
+        f"{shard_sweep['speedup_at_4_workers']:.2f}x vs single-process "
+        f"(gate {'on' if shard_sweep['gate_applicable'] else 'waived: '}"
+        f"{'' if shard_sweep['gate_applicable'] else str(shard_sweep['available_cores']) + ' core(s)'}"
+        f") -> {args.output}"
     )
     if not report["equivalence"]["within_tolerance"]:
         raise SystemExit("streamed predictions diverged from the baseline beyond 1e-10")
@@ -384,6 +639,8 @@ def main() -> None:
         raise SystemExit("single-session fast path fell below the naive loop")
     if not report["incremental_scoring"]["meets_target"]:
         raise SystemExit("incremental MAD-GAN scoring speedup target not met")
+    if shard_sweep["gate_applicable"] and not shard_sweep["meets_target"]:
+        raise SystemExit("sharded serving speedup target not met at 4 workers")
 
 
 if __name__ == "__main__":

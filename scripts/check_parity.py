@@ -344,6 +344,176 @@ def run_chaos_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str
     return gates
 
 
+def _replay_fingerprint(report) -> dict:
+    """Everything a sharded replay must reproduce bitwise, keyed by session."""
+    fingerprint = {}
+    for session_id in sorted(report.sessions):
+        trace = report.sessions[session_id]
+        fingerprint[session_id] = {
+            "samples": [outcome.sample.tobytes() for outcome in trace.ticks],
+            "predictions": [outcome.prediction for outcome in trace.ticks],
+            "verdicts": [
+                {
+                    name: (verdict.warming, verdict.flagged, verdict.score)
+                    for name, verdict in outcome.verdicts.items()
+                }
+                for outcome in trace.ticks
+            ],
+            "attacked": [outcome.attacked for outcome in trace.ticks],
+            "fault": [outcome.fault for outcome in trace.ticks],
+            "ingress": [outcome.ingress for outcome in trace.ticks],
+            "dropped": [outcome.dropped for outcome in trace.ticks],
+            "delivered_at": list(trace.delivered_at),
+            "health": [
+                (event.tick, str(event.state), event.reason)
+                for event in trace.health_timeline
+            ],
+        }
+    return fingerprint
+
+
+def run_shard_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str, float]:
+    """Sharded-fabric parity gate (tier-1 smoke).
+
+    Replays the fixture cohort through a personalized (multi-lane) zoo with
+    the full production mix active — benign sensor faults, per-device
+    clocks, session churn, an online attacker, and health+ingress gating —
+    once on a single-process :class:`StreamScheduler` and once per shard
+    count in {1, 2, 4} on a :class:`~repro.serving.shard.ShardedScheduler`,
+    then asserts the replays are **bitwise identical**: delivered samples,
+    predictions, detector verdicts and scores, attack/fault/ingress
+    attribution, health timelines, tamper records, and the report rollup.
+    Also asserts ``AttackCampaign.run_cohort(n_workers=2)`` reproduces the
+    single-process campaign record-for-record on the same multi-lane zoo.
+
+    The gate uses the deterministic kNN detector: MAD-GAN's cold-inversion
+    latents come from a detector-level RNG that the shard boundary re-derives
+    per worker (see ``repro.serving.shard``), which is reproducible but not
+    layout-invariant, so it is exercised by the chaos suite instead.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    from repro.attacks.campaign import AttackCampaign
+    from repro.detectors import KNNDistanceDetector
+    from repro.serving import (
+        AttackEpisode,
+        DeviceClockConfig,
+        HealthConfig,
+        IngressConfig,
+        IngressPolicy,
+        OnlineAttacker,
+        SensorFaultConfig,
+        SessionChurnConfig,
+        ShardedScheduler,
+        StreamReplayer,
+        StreamScheduler,
+    )
+
+    # The gate needs a multi-lane zoo (one lane per patient) so lanes
+    # genuinely spread across shard workers — lane placement is the fabric's
+    # atomic unit.  A personalized zoo is used as-is; the aggregate-only
+    # script fixture gets a tiny personalized sibling trained on the spot.
+    records = list(cohort)
+    if len({zoo.model_for(record.label).state_hash() for record in records}) > 1:
+        lane_zoo = zoo
+    else:
+        lane_zoo = GlucoseModelZoo(
+            predictor_kwargs=dict(epochs=1, hidden_size=8),
+            train_personalized=True,
+            seed=3,
+        )
+        lane_zoo.fit(cohort)
+    train_windows, _, _ = lane_zoo.dataset.from_cohort(cohort, split="train")
+    detector = KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :])
+
+    faults = SensorFaultConfig(
+        bias_rate=0.05, spike_rate=0.08, malformed_rate=0.05, seed=11
+    )
+    clocks = DeviceClockConfig(drift=0.05, jitter=0.1, dropout=0.05, seed=19)
+    churn = SessionChurnConfig(join_stagger=2, disconnect_every=25, reconnect_after=2)
+    health = HealthConfig(degrade_after=1, quarantine_after=2, backoff_ticks=4)
+    ingress = IngressConfig(policy=IngressPolicy.REJECT)
+    attacked_label = records[0].label
+    # Start past the first segment's warmup, end before its churn disconnect.
+    episodes = {attacked_label: [AttackEpisode(start=13, duration=12)]}
+
+    def replay_with(scheduler):
+        attacker = OnlineAttacker(episodes)  # fresh: attackers accumulate records
+        replayer = StreamReplayer(
+            lane_zoo,
+            detectors={"knn": (detector, "sample")},
+            attacker=attacker,
+            scheduler=scheduler,
+            clocks=clocks,
+            churn=churn,
+            faults=faults,
+        )
+        report = replayer.replay(cohort, split="test", max_ticks=n_ticks)
+        tampers = [
+            (
+                record.session_id,
+                record.tick,
+                record.benign_cgm,
+                record.delivered_cgm,
+                record.eligible,
+                record.success,
+                record.queries,
+                record.warm_started,
+            )
+            for record in attacker.records
+        ]
+        return report, tampers
+
+    baseline_report, baseline_tampers = replay_with(
+        StreamScheduler(health=health, ingress=ingress)
+    )
+    baseline = _replay_fingerprint(baseline_report)
+    baseline_rollup = baseline_report.rollup("knn")
+    assert any(
+        any(trace["attacked"]) for trace in baseline.values()
+    ), "the online attacker never tampered a sample"
+
+    for n_shards in (1, 2, 4):
+        fabric = ShardedScheduler(n_shards=n_shards, health=health, ingress=ingress)
+        try:
+            report, tampers = replay_with(fabric)
+        finally:
+            fabric.shutdown()
+        fingerprint = _replay_fingerprint(report)
+        assert fingerprint == baseline, (
+            f"sharded replay diverged from single-process at n_shards={n_shards}"
+        )
+        assert tampers == baseline_tampers, (
+            f"tamper records diverged at n_shards={n_shards}"
+        )
+        rollup = report.rollup("knn")
+        assert rollup.keys() == baseline_rollup.keys() and all(
+            value == baseline_rollup[key]
+            or (np.isnan(value) and np.isnan(baseline_rollup[key]))
+            for key, value in rollup.items()
+        ), f"report rollup diverged at n_shards={n_shards}"
+
+    campaign = AttackCampaign(lane_zoo, stride=40)
+    single = campaign.run_cohort(cohort)
+    sharded = campaign.run_cohort(cohort, n_workers=2)
+    assert len(single.records) == len(sharded.records) > 0, "campaign record count mismatch"
+    for left, right in zip(single.records, sharded.records):
+        assert (left.patient_label, left.window_index, left.target_index) == (
+            right.patient_label,
+            right.window_index,
+            right.target_index,
+        ), "campaign record attribution diverged under n_workers=2"
+        _compare_results([left.result], [right.result])
+
+    return {
+        "n_sessions": len(baseline.keys()),
+        "n_lanes": len(records),
+        "n_ticks": n_ticks,
+        "shard_counts": (1, 2, 4),
+        "campaign_records": len(single.records),
+    }
+
+
 def main() -> int:
     print("building tiny fixture...")
     cohort, zoo = build_fixture()
@@ -386,6 +556,17 @@ def main() -> int:
         print(f"CHAOS GATE VIOLATION: {error}")
         return 1
     print(f"  all {len(chaos)} chaos gates passed on the tiny fixture")
+    print("running shard smoke (sharded fabric bitwise parity at 1/2/4 shards)...")
+    try:
+        shard = run_shard_smoke(zoo, cohort)
+    except AssertionError as error:
+        print(f"SHARD PARITY VIOLATION: {error}")
+        return 1
+    print(
+        f"  sharded == single-process bitwise across shard counts "
+        f"{shard['shard_counts']} ({shard['n_sessions']} session segments, "
+        f"{shard['campaign_records']} campaign records at n_workers=2)"
+    )
     print("all parity checks passed")
     return 0
 

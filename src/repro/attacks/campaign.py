@@ -184,6 +184,24 @@ class CampaignResult:
         return np.stack(samples), np.asarray(labels, dtype=int), provenance
 
 
+def _campaign_worker(campaign: "AttackCampaign", tasks: Dict[str, tuple], conn) -> None:
+    """Forked worker: run a subset of per-model group searches and report back.
+
+    Fork semantics matter here: the campaign (and its possibly-unpicklable
+    ``attack_factory`` closure) is inherited by memory image, never pickled;
+    only the :class:`AttackResult` lists return through the pipe.
+    """
+    try:
+        results = {key: campaign._attack_one_group(*task) for key, task in tasks.items()}
+        conn.send(("ok", results))
+    except Exception:
+        import traceback
+
+        conn.send(("err", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
 class AttackCampaign:
     """Run the evasion attack over patient traces.
 
@@ -284,7 +302,12 @@ class AttackCampaign:
         )
         return result
 
-    def run_cohort(self, cohort: Cohort, split: str = "test") -> CampaignResult:
+    def run_cohort(
+        self,
+        cohort: Cohort,
+        split: str = "test",
+        n_workers: Optional[int] = None,
+    ) -> CampaignResult:
         """Attack every patient in a cohort and merge the records.
 
         With ``cohort_batched`` (the default when ``batched``), patients that
@@ -294,9 +317,32 @@ class AttackCampaign:
         one batch per patient.  Records keep per-patient attribution and are
         ordered exactly as the per-patient loop would order them (cohort
         order, then trace order).
+
+        ``n_workers`` shards the per-model groups across forked worker
+        processes (requires ``cohort_batched``).  Each group's lockstep
+        search is the atomic unit of work and runs *unchanged* inside its
+        worker — same factory call, same merged batch — so the records are
+        equal record-for-record to the single-process path; per-patient
+        attribution and cohort record ordering are preserved by the parent.
+        Workers are forked, so ``attack_factory`` closures need not be
+        picklable; but a factory must not close over one *live* shared
+        ``RandomState`` expecting cross-group draw interleaving — after the
+        fork each worker advances a private copy of the stream (the aliasing
+        hazard :meth:`repro.utils.rng.RandomState.fork` documents).  Seeded
+        explorers built per group (the default shape) are unaffected.  Falls
+        back to in-process execution when ``fork`` is unavailable or there
+        are fewer than two groups.
         """
         merged = CampaignResult()
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
         if not (self.batched and self.cohort_batched):
+            if n_workers is not None and n_workers > 1:
+                raise ValueError(
+                    "n_workers > 1 requires cohort_batched campaigns: the "
+                    "per-model merged search is the unit of work sharded "
+                    "across workers"
+                )
             for record in cohort:
                 merged.records.extend(self.run_patient(record, split).records)
             return merged
@@ -322,9 +368,8 @@ class AttackCampaign:
             predictors[key] = predictor
             groups.setdefault(key, []).append(record)
 
-        records_by_label: Dict[str, List[WindowAttackRecord]] = {}
+        tasks: Dict[str, tuple] = {}
         for key, group in groups.items():
-            attack = self.attack_factory(predictors[key])
             merged_windows = np.concatenate(
                 [prepared_by_label[record.label][0] for record in group]
             )
@@ -333,7 +378,12 @@ class AttackCampaign:
                 for record in group
                 for scenario in prepared_by_label[record.label][3]
             ]
-            attack_results = attack.attack_batch(merged_windows, merged_scenarios, batched=True)
+            tasks[key] = (predictors[key], merged_windows, merged_scenarios)
+        results_by_key = self._attack_groups(tasks, n_workers)
+
+        records_by_label: Dict[str, List[WindowAttackRecord]] = {}
+        for key, group in groups.items():
+            attack_results = results_by_key[key]
             offset = 0
             for record in group:
                 _, window_indices, target_indices, _ = prepared_by_label[record.label]
@@ -350,3 +400,65 @@ class AttackCampaign:
         for record in cohort:  # preserve the per-patient record ordering
             merged.records.extend(records_by_label.get(record.label, []))
         return merged
+
+    # ------------------------------------------------------------------ sharding
+    def _attack_one_group(self, predictor, windows, scenarios) -> List[AttackResult]:
+        """One merged lockstep search — identical in- and cross-process."""
+        attack = self.attack_factory(predictor)
+        return attack.attack_batch(windows, scenarios, batched=True)
+
+    def _attack_groups(
+        self, tasks: Dict[str, tuple], n_workers: Optional[int]
+    ) -> Dict[str, List[AttackResult]]:
+        """Run every per-model group search, optionally across forked workers.
+
+        Groups are assigned round-robin in group-creation order (first
+        patient appearance — deterministic and independent of worker
+        count's effect on results: each group's search runs identically
+        wherever it lands).  Worker exceptions are re-raised parent-side
+        with the worker traceback attached.
+        """
+        import multiprocessing
+
+        keys = list(tasks)
+        use_workers = (
+            n_workers is not None
+            and n_workers > 1
+            and len(keys) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if not use_workers:
+            return {key: self._attack_one_group(*tasks[key]) for key in keys}
+
+        context = multiprocessing.get_context("fork")
+        shards = [keys[index::n_workers] for index in range(n_workers)]
+        shards = [shard for shard in shards if shard]
+        workers = []
+        for shard in shards:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_campaign_worker,
+                args=(self, {key: tasks[key] for key in shard}, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append((process, parent_conn))
+
+        results_by_key: Dict[str, List[AttackResult]] = {}
+        failure: Optional[RuntimeError] = None
+        for process, conn in workers:
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = "err", "campaign worker died before reporting"
+            if status == "ok":
+                results_by_key.update(payload)
+            elif failure is None:
+                failure = RuntimeError(f"campaign worker failed:\n{payload}")
+            conn.close()
+        for process, _ in workers:
+            process.join()
+        if failure is not None:
+            raise failure
+        return results_by_key

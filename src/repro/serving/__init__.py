@@ -31,6 +31,12 @@ windows.  This package is the serving layer that closes the gap:
     :class:`SessionHealth` state machine (healthy → degraded → quarantined
     → recovered), and checkpoint validation gates.  See
     ``docs/robustness.md``.
+``shard``
+    :class:`ShardedScheduler` — the multiprocess scale-out facade: lanes
+    partitioned across worker processes behind the same scheduler API,
+    with deterministic session-id-ordered merges and bitwise parity to the
+    single-process path (``scripts/check_parity.py`` gates it).  See
+    ``docs/serving.md``.
 
 Every streamed prediction is pinned to the offline fast path
 (:meth:`GlucosePredictor.predict`) within 1e-10, and streaming detector
@@ -66,6 +72,12 @@ from repro.serving.replay import (
     ReplaySessionTrace,
     StreamReplayer,
 )
+from repro.serving.shard import (
+    ShardDeadError,
+    ShardSessionHandle,
+    ShardWorkerError,
+    ShardedScheduler,
+)
 
 __all__ = [
     "PatientSession",
@@ -94,4 +106,8 @@ __all__ = [
     "ReplayReport",
     "ReplaySessionTrace",
     "StreamReplayer",
+    "ShardDeadError",
+    "ShardSessionHandle",
+    "ShardWorkerError",
+    "ShardedScheduler",
 ]

@@ -387,8 +387,16 @@ class StreamReplayer:
     attacker:
         Optional :class:`OnlineAttacker` tampering samples in flight.
     scheduler:
-        Bring-your-own scheduler (e.g. to co-serve other sessions); a fresh
-        one is created per replay otherwise.
+        Bring-your-own scheduler (e.g. to co-serve other sessions, or a
+        pre-configured :class:`~repro.serving.shard.ShardedScheduler` for
+        health/ingress-enabled sharded replays); a fresh one is created per
+        replay otherwise.
+    n_shards:
+        Convenience scale-out: when set (and no ``scheduler`` was given),
+        each replay runs on its own :class:`~repro.serving.shard.ShardedScheduler`
+        with this many worker processes, torn down when the replay returns.
+        Replay results are bitwise-identical to the single-process path for
+        deterministic detectors — ``scripts/check_parity.py`` gates it.
     clocks:
         Optional :class:`DeviceClockConfig` giving every device its own
         transmission clock (drift/jitter/dropout).  None replays all
@@ -431,11 +439,17 @@ class StreamReplayer:
         churn: Optional[SessionChurnConfig] = None,
         faults: Optional[SensorFaultConfig] = None,
         divergence_watchdog: Optional[int] = None,
+        n_shards: Optional[int] = None,
     ):
+        if scheduler is not None and n_shards is not None:
+            raise ValueError(
+                "pass either a bring-your-own scheduler or n_shards, not both"
+            )
         self.zoo = zoo
         self.detectors = dict(detectors or {})
         self.attacker = attacker
         self.scheduler = scheduler
+        self.n_shards = n_shards
         self.clocks = clocks
         self.churn = churn
         if faults is None or isinstance(faults, FaultInjector):
@@ -458,7 +472,15 @@ class StreamReplayer:
         horizon; with session churn the same drain guarantee holds across a
         device's disconnect/reconnect segments.
         """
-        scheduler = self.scheduler or StreamScheduler()
+        owned_fabric = None
+        if self.scheduler is not None:
+            scheduler = self.scheduler
+        elif self.n_shards is not None:
+            from repro.serving.shard import ShardedScheduler
+
+            scheduler = owned_fabric = ShardedScheduler(n_shards=self.n_shards)
+        else:
+            scheduler = StreamScheduler()
         report = ReplayReport(detector_names=list(self.detectors))
         churn = self.churn
         injector = self.faults if self.faults is not None and self.faults.enabled else None
@@ -734,6 +756,8 @@ class StreamReplayer:
                             session.health.timeline
                         )
                     scheduler.close_session(session.session_id)
+            if owned_fabric is not None:
+                owned_fabric.shutdown()
         return report
 
     # ------------------------------------------------------------------ helpers

@@ -345,8 +345,12 @@ class StreamScheduler:
 
         All model work is one ``step_stream`` call per lane; all detector
         work is one ``predict`` call per distinct underlying detector object
-        (incremental adapters instead share one ``predict_incremental``
-        call, which also advances their per-stream states exactly once).  A
+        *per lane* (incremental adapters instead share one
+        ``predict_incremental`` call, which also advances their per-stream
+        states exactly once).  Batches never cross lanes: BLAS rounding is
+        batch-shape dependent, so lane-scoped batching keeps every session's
+        outputs bitwise independent of which other lanes share its
+        detectors — the invariant the sharded fabric's parity gate pins.  A
         single-session tick takes the slim fast path instead — see
         ``use_single_fast_path``.
         """
@@ -396,7 +400,19 @@ class StreamScheduler:
                     if view is None:
                         outcome.verdicts[name] = StreamVerdict(tick=detector_tick, warming=True)
                         continue
-                    group_key = (id(adapter.detector), view.shape[1:], adapter.incremental)
+                    # Batches are scoped to the lane: one query per distinct
+                    # detector per lane, NOT per detector fleet-wide.  BLAS
+                    # rounds per batch shape, so cross-lane batching would
+                    # make a session's scores depend on which *other* lanes
+                    # happen to share its detector (a composition dependence
+                    # the sharded fabric's bitwise parity gate would reject —
+                    # lanes are the atomic placement unit).
+                    group_key = (
+                        lane_key,
+                        id(adapter.detector),
+                        view.shape[1:],
+                        adapter.incremental,
+                    )
                     group = pending_views.setdefault(
                         group_key,
                         {
@@ -409,9 +425,9 @@ class StreamScheduler:
                     group["views"].append(view)
                     group["targets"].append((outcome, name, adapter, detector_tick, session))
 
-        # One batched query per distinct detector object and view shape;
-        # incremental adapters additionally thread their per-stream states
-        # through the detector's batched incremental call.
+        # One batched query per lane per distinct detector object and view
+        # shape; incremental adapters additionally thread their per-stream
+        # states through the detector's batched incremental call.
         for group in pending_views.values():
             stacked_views = np.concatenate(group["views"])
             wants_scores = any(adapter.include_scores for _, _, adapter, _, _ in group["targets"])

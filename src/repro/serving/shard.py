@@ -1,0 +1,689 @@
+"""Multiprocess sharded execution fabric for the serving scheduler.
+
+Everything below :class:`~repro.serving.scheduler.StreamScheduler` runs in
+one Python process on one core; this module is the scale-out layer that
+partitions a session fleet across a pool of worker processes while keeping
+the single-process semantics **bitwise** (``scripts/check_parity.py`` gates
+``run_shard_smoke`` on it).
+
+Architecture
+------------
+Each worker process owns a full, ordinary :class:`StreamScheduler` — its
+*shard* — plus a content-addressed registry of rehydrated checkpoints and
+shared detector objects.  The parent-side :class:`ShardedScheduler` facade
+exposes the same ``open_session`` / ``tick`` / ``close_session`` API and:
+
+* **Partitions sessions** with a deterministic hash of
+  ``(lane state_hash, session id)`` — independent of open order, so a replay
+  shards the same way every run.  Weights are content-addressed: each worker
+  materializes at most one model copy per lane it serves.  Checkpoints cross
+  the boundary once per ``(worker, lane)`` as pickled payloads and are
+  re-verified on arrival with the existing
+  :func:`~repro.serving.health.validate_checkpoint` / ``state_hash``
+  machinery, so a torn pickle can never serve.
+* **Deduplicates shared detectors**: a detector object shared by many
+  sessions (the scheduler's batched-query contract) ships once per worker
+  and every session adapter on that worker reattaches to the single local
+  copy, preserving the one-batched-``predict``-per-detector-per-tick shape
+  inside each shard.
+* **Merges ticks deterministically**: one ``tick`` fans the delivered
+  samples out to the owning shards, the workers step concurrently, and the
+  merged ``{session_id: SessionTick}`` result is ordered by session id —
+  independent of shard count and assignment.
+* **Isolates worker death**: a shard whose process dies (or whose pipe
+  breaks) degrades only its own sessions — they receive ``dropped`` ticks
+  naming the dead shard — while every other shard keeps serving outputs
+  bitwise-identical to running solo.
+
+RNG boundary rule
+-----------------
+``RandomState(existing)`` shares one stream in-process, but separately
+pickled copies silently stop sharing and re-draw identical values
+(:meth:`repro.utils.rng.RandomState.fork` documents the hazard; the
+regression tests pin it).  Crossing into a worker is therefore an explicit
+derivation point: when a detector carrying a ``RandomState`` is registered
+on a worker, its stream is re-derived with a stable per-shard tag
+(``derive("shard:<index>")``) instead of inheriting a frozen copy of the
+parent's stream.  Consequences: stochastic detectors (MAD-GAN cold latent
+draws) are *reproducible* for a fixed seed and shard layout but not
+bitwise-invariant across layouts; the bitwise parity gates use
+deterministic detectors.  Model weights are never re-derived — predictions
+spend no randomness.
+
+Session handles
+---------------
+``open_session`` returns a :class:`ShardSessionHandle`, a parent-side
+mirror that duck-types the :class:`~repro.serving.session.PatientSession`
+surface the replayer and online attacker consume (``ticks``,
+``context_window``, ``predictor``, ``health``).  The mirror ring is rebuilt
+from the returned :class:`SessionTick` stream (served ticks push exactly the
+sample the worker pushed; a quarantine transition resets it), so a
+man-in-the-middle attacker sees the same live context window it would see
+single-process.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import pickle
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.glucose.predictor import GlucosePredictor
+from repro.serving.health import HealthConfig, IngressConfig, validate_checkpoint
+from repro.serving.scheduler import StreamScheduler
+from repro.serving.session import SessionTick
+from repro.utils.rng import RandomState, hash_string
+from repro.utils.timeseries import SampleRing
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class ShardWorkerError(RuntimeError):
+    """An exception raised inside a shard worker, surfaced parent-side.
+
+    Carries the shard index plus the worker-side exception type, message,
+    and formatted traceback (exceptions with custom constructors — e.g.
+    :class:`~repro.serving.scheduler.SchedulerTickError` — do not survive
+    pickling, so the facade re-raises them by description).
+    """
+
+    def __init__(self, shard: int, exc_type: str, message: str, traceback_text: str = ""):
+        self.shard = int(shard)
+        self.exc_type = exc_type
+        self.worker_message = message
+        self.worker_traceback = traceback_text
+        super().__init__(f"shard {shard} worker raised {exc_type}: {message}")
+
+
+class ShardDeadError(RuntimeError):
+    """The facade needed a worker that is no longer alive."""
+
+
+# --------------------------------------------------------------------- pickling
+def _dumps_with_refs(obj, ref_by_id: Dict[int, Tuple[object, int]]) -> bytes:
+    """Pickle ``obj`` replacing registered shared objects with integer refs."""
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=_PICKLE_PROTOCOL)
+
+    def persistent_id(candidate):
+        entry = ref_by_id.get(id(candidate))
+        if entry is not None and entry[0] is candidate:
+            return entry[1]
+        return None
+
+    pickler.persistent_id = persistent_id
+    pickler.dump(obj)
+    return buffer.getvalue()
+
+
+def _loads_with_refs(data: bytes, registry: Dict[int, object]):
+    """Unpickle, resolving integer refs against the worker's local registry."""
+    unpickler = pickle.Unpickler(io.BytesIO(data))
+    unpickler.persistent_load = registry.__getitem__
+    return unpickler.load()
+
+
+# ------------------------------------------------------------------ worker side
+def _rederive_worker_rng(obj, shard_index: int) -> None:
+    """Apply the shard-boundary RNG rule to a freshly rehydrated object.
+
+    A pickled copy of a parent-side ``RandomState`` would silently re-draw
+    the parent's stream (the aliasing bug the regression tests pin); the
+    worker's copy must advance a stream of its own.  ``derive`` with the
+    stable per-shard tag keeps the result reproducible for a fixed seed and
+    shard layout.
+    """
+    rng = getattr(obj, "_rng", None)
+    if isinstance(rng, RandomState):
+        obj._rng = rng.derive(f"shard:{shard_index}")
+
+
+def _worker_main(shard_index: int, conn, scheduler_kwargs: dict) -> None:
+    """Run one shard: a private StreamScheduler driven by pipe commands."""
+    import traceback as traceback_module
+
+    scheduler = StreamScheduler(**scheduler_kwargs)
+    models: Dict[str, GlucosePredictor] = {}
+    detectors: Dict[int, object] = {}
+
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        command = message[0]
+        try:
+            if command == "shutdown":
+                conn.send(("ok", None))
+                break
+            elif command == "model":
+                _, lane_key, payload = message
+                predictor = pickle.loads(payload)
+                # Re-verify the rehydrated checkpoint against its
+                # content-addressed lane key: a torn pickle must never serve.
+                validate_checkpoint(predictor, expected_hash=lane_key)
+                models[lane_key] = predictor
+                conn.send(("ok", None))
+            elif command == "detector":
+                _, ref, payload = message
+                detector = pickle.loads(payload)
+                _rederive_worker_rng(detector, shard_index)
+                detectors[ref] = detector
+                conn.send(("ok", None))
+            elif command == "open":
+                _, spec = message
+                adapters = (
+                    _loads_with_refs(spec["adapters"], detectors)
+                    if spec["adapters"] is not None
+                    else None
+                )
+                scheduler.open_session(
+                    spec["patient_label"],
+                    models[spec["lane_key"]],
+                    detectors=adapters,
+                    session_id=spec["session_id"],
+                    expected_state_hash=spec["expected_state_hash"],
+                )
+                conn.send(("ok", None))
+            elif command == "tick":
+                _, samples = message
+                start = time.perf_counter()
+                results = scheduler.tick(samples)
+                elapsed = time.perf_counter() - start
+                blocked = {
+                    session_id
+                    for session_id in results
+                    if (session := scheduler.session(session_id)).health is not None
+                    and session.health.blocked
+                }
+                conn.send(("ok", {"ticks": results, "blocked": blocked, "elapsed": elapsed}))
+            elif command == "close":
+                _, session_id = message
+                session = scheduler.session(session_id)
+                timeline = (
+                    list(session.health.timeline) if session.health is not None else None
+                )
+                scheduler.close_session(session_id)
+                conn.send(("ok", timeline))
+            elif command == "timeline":
+                _, session_id = message
+                session = scheduler.session(session_id)
+                timeline = (
+                    list(session.health.timeline) if session.health is not None else None
+                )
+                conn.send(("ok", timeline))
+            else:  # pragma: no cover - protocol misuse guard
+                raise ValueError(f"unknown shard command {command!r}")
+        except Exception as exc:
+            conn.send(
+                (
+                    "raise",
+                    {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback_module.format_exc(),
+                    },
+                )
+            )
+    conn.close()
+
+
+# ------------------------------------------------------------------ parent side
+class _ShardHealthProxy:
+    """Parent-side stand-in for a worker session's ``SessionHealth``.
+
+    Exposes the one surface replay reporting consumes — ``timeline`` — by
+    querying the owning worker on access, and caches the final timeline when
+    the session closes (or its shard dies).
+    """
+
+    def __init__(self, fabric: "ShardedScheduler", session_id: str, shard: int):
+        self._fabric = fabric
+        self._session_id = session_id
+        self._shard = shard
+        self._final: Optional[list] = None
+
+    def _finalize(self, timeline: Optional[list]) -> None:
+        self._final = list(timeline) if timeline is not None else []
+
+    @property
+    def timeline(self) -> list:
+        if self._final is not None:
+            return self._final
+        timeline = self._fabric._fetch_timeline(self._shard, self._session_id)
+        return timeline if timeline is not None else []
+
+
+class ShardSessionHandle:
+    """Parent-side mirror of one session living in a shard worker.
+
+    Duck-types the :class:`~repro.serving.session.PatientSession` surface
+    the replayer and :class:`~repro.serving.attacker.OnlineAttacker`
+    consume.  The delivered-sample ring is rebuilt from the ``SessionTick``
+    stream the worker returns, so ``context_window`` matches the
+    worker-side session exactly (served ticks push the post-ingress sample;
+    a quarantine transition resets the ring).
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        patient_label: str,
+        predictor: GlucosePredictor,
+        shard: int,
+        lane_key: str,
+        health: Optional[_ShardHealthProxy] = None,
+    ):
+        self.session_id = str(session_id)
+        self.patient_label = str(patient_label)
+        self.predictor = predictor
+        self.shard = int(shard)
+        self.history = int(predictor.history)
+        self.ticks = 0
+        self.health = health
+        self.last_prediction: Optional[float] = None
+        self._lane_key = lane_key
+        self._ring = SampleRing(self.history)
+        self._blocked = False
+
+    @property
+    def lane_key(self) -> str:
+        """Hash of the model (weights + scaler) this session is served by."""
+        return self._lane_key
+
+    def window(self) -> Optional[np.ndarray]:
+        """The last ``history`` delivered samples in time order, or None."""
+        return self._ring.window()
+
+    def context_window(self, incoming: np.ndarray) -> Optional[np.ndarray]:
+        """The window the model would see if ``incoming`` were delivered now."""
+        return self._ring.tail_with(incoming)
+
+    # ------------------------------------------------------------- mirroring
+    def _absorb(self, outcome: SessionTick, blocked: bool) -> None:
+        """Mirror one worker tick: advance the clock and rebuild the ring."""
+        self.ticks = outcome.tick + 1
+        if not outcome.dropped:
+            self._ring.push(outcome.sample)
+            if outcome.prediction is not None:
+                self.last_prediction = outcome.prediction
+        if blocked and not self._blocked:
+            # The worker quarantined (or failed) this session on this tick:
+            # its ring and per-stream state were reset there; mirror that.
+            self._ring.reset()
+            self.last_prediction = None
+        self._blocked = blocked
+
+
+class _Shard:
+    """One worker process plus its parent-side bookkeeping."""
+
+    __slots__ = ("index", "process", "conn", "alive", "shipped_models", "shipped_detectors", "last_tick_latency")
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.shipped_models: set = set()
+        self.shipped_detectors: set = set()
+        self.last_tick_latency: Optional[float] = None
+
+
+class ShardedScheduler:
+    """Scale-out facade: the :class:`StreamScheduler` API over a process pool.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker-process count.  ``1`` is a valid degenerate fabric (one
+        worker, useful as the cheapest cross-process parity probe).
+    use_single_fast_path, health, ingress, validate_checkpoints:
+        Forwarded verbatim to every worker's private
+        :class:`StreamScheduler`; see that class for semantics.  The
+        configs must be picklable (the shipped dataclasses are).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap)
+        and falls back to ``spawn``.  Payloads cross the pipe pickled under
+        every method, so the serialization contract is always exercised.
+
+    Notes
+    -----
+    ``tick`` merges shard results **sorted by session id** — the returned
+    mapping is identical (bitwise, including order) for any shard count.
+    A worker that dies mid-fleet only degrades its own sessions: they
+    receive ``dropped`` ticks with an ``error`` naming the dead shard, and
+    the surviving shards' outputs are unchanged.  Use the facade as a
+    context manager (or call :meth:`shutdown`) to reap the workers.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        use_single_fast_path: bool = True,
+        health: Optional[HealthConfig] = None,
+        ingress: Optional[IngressConfig] = None,
+        validate_checkpoints: bool = False,
+        start_method: Optional[str] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.n_shards = int(n_shards)
+        self.health = health
+        self.start_method = start_method
+        scheduler_kwargs = dict(
+            use_single_fast_path=use_single_fast_path,
+            health=health,
+            ingress=ingress,
+            validate_checkpoints=validate_checkpoints,
+        )
+        context = multiprocessing.get_context(start_method)
+        self._shards: List[_Shard] = []
+        for index in range(self.n_shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(index, child_conn, scheduler_kwargs),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._shards.append(_Shard(index, process, parent_conn))
+        self._sessions: Dict[str, ShardSessionHandle] = {}
+        self._lane_keys: set = set()
+        # id(predictor) -> (predictor, state_hash): hash each object once.
+        self._hash_by_predictor: Dict[int, Tuple[object, str]] = {}
+        # id(detector) -> (detector, ref): shared-object registry for
+        # persistent-id pickling; holding the object keeps ids stable.
+        self._detector_refs: Dict[int, Tuple[object, int]] = {}
+        self._next_detector_ref = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ plumbing
+    def __enter__(self) -> "ShardedScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - best-effort reaping
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def shutdown(self) -> None:
+        """Stop every worker process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.alive:
+                try:
+                    shard.conn.send(("shutdown",))
+                    shard.conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.alive = False
+        for shard in self._shards:
+            shard.process.join(timeout=5)
+            if shard.process.is_alive():  # pragma: no cover - stuck worker
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+
+    def _mark_dead(self, shard: _Shard) -> None:
+        if shard.alive:
+            shard.alive = False
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+
+    def _request(self, shard: _Shard, message: tuple):
+        """One synchronous command round-trip with a worker."""
+        if not shard.alive:
+            raise ShardDeadError(f"shard {shard.index} worker is not alive")
+        try:
+            shard.conn.send(message)
+            status, payload = shard.conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            self._mark_dead(shard)
+            raise ShardDeadError(
+                f"shard {shard.index} worker died during {message[0]!r}"
+            ) from exc
+        if status == "raise":
+            raise ShardWorkerError(
+                shard.index, payload["type"], payload["message"], payload["traceback"]
+            )
+        return payload
+
+    # ------------------------------------------------------------------ sessions
+    def shard_for(self, lane_key: str, session_id: str) -> int:
+        """Deterministic shard assignment, independent of open order.
+
+        Placement is **lane-grained**: every session served by the same
+        model (equal ``state_hash``) lands on the same worker.  Splitting a
+        lane would change the stacked step's batch composition, and BLAS
+        kernels round differently per batch shape — a 1-ulp divergence the
+        bitwise parity gate rejects.  Lanes are the atomic placement unit;
+        parallelism comes from lanes spreading across workers (the
+        personalized-zoo serving shape), not from splitting one lane.
+        """
+        del session_id  # placement is content-addressed by lane only
+        return int(hash_string(f"lane:{lane_key}") % self.n_shards)
+
+    def _lane_key_for(self, predictor: GlucosePredictor) -> str:
+        memo = self._hash_by_predictor.get(id(predictor))
+        if memo is None or memo[0] is not predictor:
+            memo = self._hash_by_predictor[id(predictor)] = (
+                predictor,
+                predictor.state_hash(),
+            )
+        return memo[1]
+
+    def _ship_detectors(self, shard: _Shard, detectors) -> None:
+        for adapter in detectors.values():
+            detector = getattr(adapter, "detector", None)
+            if detector is None:
+                continue
+            entry = self._detector_refs.get(id(detector))
+            if entry is None or entry[0] is not detector:
+                entry = self._detector_refs[id(detector)] = (
+                    detector,
+                    self._next_detector_ref,
+                )
+                self._next_detector_ref += 1
+            ref = entry[1]
+            if ref not in shard.shipped_detectors:
+                payload = pickle.dumps(detector, protocol=_PICKLE_PROTOCOL)
+                self._request(shard, ("detector", ref, payload))
+                shard.shipped_detectors.add(ref)
+
+    def open_session(
+        self,
+        patient_label: str,
+        predictor: GlucosePredictor,
+        detectors=None,
+        session_id: Optional[str] = None,
+        expected_state_hash: Optional[str] = None,
+    ) -> ShardSessionHandle:
+        """Open a session on its deterministic shard; returns a parent handle.
+
+        Semantics mirror :meth:`StreamScheduler.open_session`: checkpoint
+        validation happens parent-side (fail fast, identical exceptions)
+        *and* worker-side on rehydration; sessions with equal lane hashes
+        landing on the same worker share that worker's lane.
+        """
+        session_id = str(session_id if session_id is not None else patient_label)
+        if session_id in self._sessions:
+            raise ValueError(f"session id {session_id!r} already exists")
+        if expected_state_hash is not None:
+            lane_key = validate_checkpoint(predictor, expected_state_hash)
+        else:
+            lane_key = self._lane_key_for(predictor)
+        shard = self._shards[self.shard_for(lane_key, session_id)]
+        if lane_key not in shard.shipped_models:
+            payload = pickle.dumps(predictor, protocol=_PICKLE_PROTOCOL)
+            self._request(shard, ("model", lane_key, payload))
+            shard.shipped_models.add(lane_key)
+        adapters_payload = None
+        if detectors:
+            self._ship_detectors(shard, detectors)
+            adapters_payload = _dumps_with_refs(dict(detectors), self._detector_refs)
+        self._request(
+            shard,
+            (
+                "open",
+                {
+                    "session_id": session_id,
+                    "patient_label": str(patient_label),
+                    "lane_key": lane_key,
+                    "adapters": adapters_payload,
+                    "expected_state_hash": expected_state_hash,
+                },
+            ),
+        )
+        proxy = (
+            _ShardHealthProxy(self, session_id, shard.index)
+            if self.health is not None
+            else None
+        )
+        handle = ShardSessionHandle(
+            session_id, patient_label, predictor, shard.index, lane_key, health=proxy
+        )
+        self._sessions[session_id] = handle
+        self._lane_keys.add(lane_key)
+        return handle
+
+    def close_session(self, session_id: str) -> None:
+        """Tear a session down on its shard; finalizes its health timeline."""
+        handle = self._sessions.pop(str(session_id))
+        shard = self._shards[handle.shard]
+        timeline: Optional[list] = None
+        if shard.alive:
+            try:
+                timeline = self._request(shard, ("close", handle.session_id))
+            except ShardDeadError:
+                timeline = None
+        if handle.health is not None:
+            handle.health._finalize(timeline)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def n_lanes(self) -> int:
+        """Distinct models ever served (content-addressed, fabric-wide)."""
+        return len(self._lane_keys)
+
+    def session(self, session_id: str) -> ShardSessionHandle:
+        return self._sessions[str(session_id)]
+
+    def _fetch_timeline(self, shard_index: int, session_id: str) -> Optional[list]:
+        shard = self._shards[shard_index]
+        if not shard.alive:
+            return None
+        try:
+            return self._request(shard, ("timeline", session_id))
+        except ShardDeadError:
+            return None
+
+    # ------------------------------------------------------------------- ticking
+    @property
+    def last_tick_latencies(self) -> Dict[int, float]:
+        """Worker-measured seconds each live shard spent in its last tick."""
+        return {
+            shard.index: shard.last_tick_latency
+            for shard in self._shards
+            if shard.last_tick_latency is not None
+        }
+
+    def _dead_shard_tick(self, handle: ShardSessionHandle, sample) -> SessionTick:
+        outcome = SessionTick(
+            session_id=handle.session_id,
+            tick=handle.ticks,
+            sample=np.array(sample, dtype=np.float64, copy=True),
+            prediction=None,
+            dropped=True,
+            error=f"shard {handle.shard} worker died",
+        )
+        handle.ticks += 1
+        return outcome
+
+    def tick(self, samples: Mapping[str, np.ndarray]) -> Dict[str, SessionTick]:
+        """Deliver one tick fleet-wide; see :meth:`StreamScheduler.tick`.
+
+        Samples are routed to the owning shards, the workers step their
+        schedulers concurrently, and the merged outcomes come back **sorted
+        by session id** — deterministic and independent of shard layout.
+        Sessions on a dead shard receive ``dropped`` outcomes naming it;
+        everyone else is served normally.
+        """
+        per_shard: Dict[int, Dict[str, np.ndarray]] = {}
+        merged: Dict[str, SessionTick] = {}
+        for session_id, sample in samples.items():
+            handle = self._sessions[str(session_id)]
+            shard = self._shards[handle.shard]
+            if not shard.alive:
+                merged[handle.session_id] = self._dead_shard_tick(handle, sample)
+                continue
+            per_shard.setdefault(handle.shard, {})[handle.session_id] = sample
+
+        # Fan out first so the workers compute concurrently, then collect.
+        engaged: List[Tuple[_Shard, Dict[str, np.ndarray]]] = []
+        for shard_index, shard_samples in per_shard.items():
+            shard = self._shards[shard_index]
+            try:
+                shard.conn.send(("tick", shard_samples))
+                engaged.append((shard, shard_samples))
+            except (BrokenPipeError, OSError):
+                self._mark_dead(shard)
+                for session_id, sample in shard_samples.items():
+                    merged[session_id] = self._dead_shard_tick(
+                        self._sessions[session_id], sample
+                    )
+
+        failures: List[ShardWorkerError] = []
+        for shard, shard_samples in engaged:
+            try:
+                status, payload = shard.conn.recv()
+            except (EOFError, OSError):
+                self._mark_dead(shard)
+                for session_id, sample in shard_samples.items():
+                    merged[session_id] = self._dead_shard_tick(
+                        self._sessions[session_id], sample
+                    )
+                continue
+            if status == "raise":
+                # Drain every engaged shard before raising so the pipes stay
+                # in protocol sync; the first failing shard's error wins.
+                failures.append(
+                    ShardWorkerError(
+                        shard.index,
+                        payload["type"],
+                        payload["message"],
+                        payload["traceback"],
+                    )
+                )
+                continue
+            shard.last_tick_latency = payload["elapsed"]
+            blocked = payload["blocked"]
+            for session_id, outcome in payload["ticks"].items():
+                self._sessions[session_id]._absorb(outcome, session_id in blocked)
+                merged[session_id] = outcome
+        if failures:
+            raise failures[0]
+        return dict(sorted(merged.items()))

@@ -78,6 +78,26 @@ class RandomState:
         children = self._generator.spawn(n)
         return [RandomState(child) for child in children]
 
+    def fork(self) -> "RandomState":
+        """An explicitly independent child for state that crosses a process
+        or pickle boundary.
+
+        ``RandomState(existing)`` *shares* the underlying generator by
+        design — two configs built from one state interleave draws from a
+        single stream.  That sharing does not survive pickling: each
+        separately pickled copy rehydrates its own generator frozen at the
+        shared stream's state, so the copies silently re-draw the *same*
+        values instead of interleaving (``tests/test_utils_rng.py`` pins the
+        divergence).  Any state that is about to be shipped to a worker must
+        therefore stop sharing *explicitly*: call :meth:`fork` (or
+        :meth:`derive` with a stable per-worker tag) and ship the child.
+
+        Successive forks of one parent yield distinct, reproducible children
+        (numpy's seed-sequence spawning); the parent's own stream is not
+        advanced.
+        """
+        return RandomState(self._generator.spawn(1)[0])
+
     def derive(self, tag: str) -> "RandomState":
         """Derive a child state deterministically from a string tag.
 

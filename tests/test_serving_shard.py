@@ -1,0 +1,459 @@
+"""Sharded serving fabric: bitwise parity, isolation, and order invariance.
+
+Pins the contract of :mod:`repro.serving.shard`:
+
+* sharded == single-process **bitwise** across shard counts {1, 2, 4}, for
+  plain serving, the full chaos mix (faults + clocks + churn), an online
+  attacker, and quarantine/health chaos,
+* worker-death isolation — a dead shard degrades only its own sessions
+  while co-scheduled shards stay bitwise-identical to the baseline,
+* ``AttackCampaign.run_cohort(n_workers=2)`` record-for-record equality
+  with the merged lockstep path, and
+* the order-dependence audit: tick mapping order, session open order,
+  cohort order, and report aggregation order must not change results.
+
+The bitwise gates use the deterministic kNN detector; MAD-GAN's shared
+detector-level RNG is re-derived per shard worker (reproducible for a fixed
+layout, not layout-invariant), which is exactly the boundary rule
+``repro.serving.shard`` documents.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackCampaign
+from repro.detectors import KNNDistanceDetector, StreamingDetector
+from repro.serving import (
+    AttackEpisode,
+    CheckpointError,
+    DeviceClockConfig,
+    HealthConfig,
+    IngressConfig,
+    IngressPolicy,
+    OnlineAttacker,
+    SensorFaultConfig,
+    SessionChurnConfig,
+    ShardedScheduler,
+    StreamReplayer,
+    StreamScheduler,
+)
+
+
+@pytest.fixture(scope="module")
+def knn_detector(tiny_zoo, tiny_cohort):
+    train_windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+    return KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :])
+
+
+def tick_fingerprint(outcome):
+    """Everything one SessionTick must reproduce bitwise."""
+    return {
+        "tick": outcome.tick,
+        "sample": outcome.sample.tobytes(),
+        "prediction": outcome.prediction,
+        "verdicts": {
+            name: (verdict.warming, verdict.flagged, verdict.score, verdict.degraded)
+            for name, verdict in outcome.verdicts.items()
+        },
+        "attacked": outcome.attacked,
+        "fault": outcome.fault,
+        "ingress": outcome.ingress,
+        "dropped": outcome.dropped,
+    }
+
+
+def report_fingerprint(report):
+    """Everything one replay must reproduce bitwise, keyed by session."""
+    return {
+        session_id: {
+            "ticks": [tick_fingerprint(outcome) for outcome in trace.ticks],
+            "delivered_at": list(trace.delivered_at),
+            "health": [
+                (event.tick, str(event.state), event.reason)
+                for event in trace.health_timeline
+            ],
+        }
+        for session_id, trace in sorted(report.sessions.items())
+    }
+
+
+def drive(scheduler, zoo, cohort, detector, n_ticks=30):
+    """Open one session per patient, tick the fleet, collect fingerprints."""
+    records = list(cohort)
+    streams = {record.label: record.features("test")[:n_ticks] for record in records}
+    for record in records:
+        scheduler.open_session(
+            record.label,
+            zoo.model_for(record.label),
+            detectors={
+                "knn": StreamingDetector(detector, unit="sample", include_scores=True)
+            },
+        )
+    outs = {record.label: [] for record in records}
+    for tick in range(n_ticks):
+        samples = {record.label: streams[record.label][tick] for record in records}
+        for session_id, outcome in scheduler.tick(samples).items():
+            outs[session_id].append(tick_fingerprint(outcome))
+    for record in records:
+        scheduler.close_session(record.label)
+    return outs
+
+
+class TestShardAssignment:
+    def test_lane_grained_placement(self, tiny_zoo, tiny_cohort):
+        """Sessions sharing a lane land on one worker, regardless of id."""
+        with ShardedScheduler(n_shards=3) as fabric:
+            record = next(iter(tiny_cohort))
+            lane = tiny_zoo.model_for(record.label).state_hash()
+            shards = {fabric.shard_for(lane, f"session-{index}") for index in range(20)}
+            assert len(shards) == 1
+
+    def test_multi_lane_fleet_spreads_across_workers(self, tiny_zoo, tiny_cohort):
+        with ShardedScheduler(n_shards=2) as fabric:
+            for record in tiny_cohort:
+                fabric.open_session(record.label, tiny_zoo.model_for(record.label))
+            shards = {fabric.session(record.label).shard for record in tiny_cohort}
+            assert len(shards) > 1  # 4 personalized lanes over 2 workers
+            assert fabric.n_sessions == len(list(tiny_cohort))
+            assert fabric.n_lanes == len(list(tiny_cohort))
+
+    def test_duplicate_session_id_rejected(self, tiny_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        with ShardedScheduler(n_shards=2) as fabric:
+            fabric.open_session(record.label, tiny_zoo.model_for(record.label))
+            with pytest.raises(ValueError, match="already exists"):
+                fabric.open_session(record.label, tiny_zoo.model_for(record.label))
+
+    def test_checkpoint_validation_fails_fast(self, tiny_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        with ShardedScheduler(n_shards=2) as fabric:
+            with pytest.raises(CheckpointError):
+                fabric.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    expected_state_hash="not-the-hash",
+                )
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_plain_serving_bitwise(self, tiny_zoo, tiny_cohort, knn_detector, n_shards):
+        baseline = drive(StreamScheduler(), tiny_zoo, tiny_cohort, knn_detector)
+        with ShardedScheduler(n_shards=n_shards) as fabric:
+            sharded = drive(fabric, tiny_zoo, tiny_cohort, knn_detector)
+        assert sharded == baseline
+
+    def test_tick_merge_is_session_id_sorted(self, tiny_zoo, tiny_cohort, knn_detector):
+        records = list(tiny_cohort)
+        with ShardedScheduler(n_shards=2) as fabric:
+            for record in records:
+                fabric.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={"knn": StreamingDetector(knn_detector, unit="sample")},
+                )
+            samples = {
+                record.label: record.features("test")[0] for record in reversed(records)
+            }
+            results = fabric.tick(samples)
+        assert list(results) == sorted(results)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_chaos_replay_bitwise(self, tiny_zoo, tiny_cohort, knn_detector, n_shards):
+        """Faults + device clocks + churn compose with the fabric bitwise."""
+
+        def replay(scheduler):
+            return StreamReplayer(
+                tiny_zoo,
+                detectors={"knn": (knn_detector, "sample")},
+                scheduler=scheduler,
+                clocks=DeviceClockConfig(drift=0.05, jitter=0.1, dropout=0.05, seed=19),
+                churn=SessionChurnConfig(join_stagger=1, disconnect_every=15),
+                faults=SensorFaultConfig(bias_rate=0.05, spike_rate=0.08, seed=11),
+            ).replay(tiny_cohort, split="test", max_ticks=30)
+
+        baseline = report_fingerprint(replay(StreamScheduler()))
+        with ShardedScheduler(n_shards=n_shards) as fabric:
+            sharded = report_fingerprint(replay(fabric))
+        assert sharded == baseline
+
+    def test_online_attacker_bitwise(self, tiny_zoo, tiny_cohort, knn_detector):
+        """Tamper records and attacked ticks survive the shard boundary."""
+        label = next(iter(tiny_cohort)).label
+
+        def replay(n_shards):
+            attacker = OnlineAttacker({label: [AttackEpisode(start=15, duration=10)]})
+            report = StreamReplayer(
+                tiny_zoo,
+                detectors={"knn": (knn_detector, "sample")},
+                attacker=attacker,
+                n_shards=n_shards,
+            ).replay(tiny_cohort, split="test", max_ticks=35)
+            tampers = [
+                (record.session_id, record.tick, record.delivered_cgm, record.queries)
+                for record in attacker.records
+            ]
+            return report_fingerprint(report), tampers
+
+        baseline, baseline_tampers = replay(None)
+        assert baseline_tampers, "attacker must tamper for the parity to be meaningful"
+        for n_shards in (1, 2):
+            sharded, tampers = replay(n_shards)
+            assert sharded == baseline
+            assert tampers == baseline_tampers
+
+    def test_quarantine_health_chaos_bitwise(self, tiny_zoo, tiny_cohort, knn_detector):
+        """Health timelines (incl. quarantines) are identical across shards."""
+        health = HealthConfig(degrade_after=1, quarantine_after=2, backoff_ticks=3)
+        ingress = IngressConfig(policy=IngressPolicy.REJECT)
+        faults = SensorFaultConfig(malformed_rate=0.2, seed=23)
+
+        def replay(scheduler):
+            return StreamReplayer(
+                tiny_zoo,
+                detectors={"knn": (knn_detector, "sample")},
+                scheduler=scheduler,
+                faults=faults,
+            ).replay(tiny_cohort, split="test", max_ticks=40)
+
+        baseline_report = replay(StreamScheduler(health=health, ingress=ingress))
+        baseline = report_fingerprint(baseline_report)
+        quarantines = sum(
+            summary["quarantines"]
+            for summary in baseline_report.health_summary().values()
+        )
+        assert quarantines > 0, "the chaos mix must actually quarantine a session"
+        for n_shards in (2, 4):
+            with ShardedScheduler(
+                n_shards=n_shards, health=health, ingress=ingress
+            ) as fabric:
+                sharded_report = replay(fabric)
+            assert report_fingerprint(sharded_report) == baseline
+            assert sharded_report.health_summary() == baseline_report.health_summary()
+
+
+class TestWorkerDeath:
+    def test_dead_shard_degrades_only_its_own_sessions(
+        self, tiny_zoo, tiny_cohort, knn_detector
+    ):
+        records = list(tiny_cohort)
+        streams = {record.label: record.features("test")[:20] for record in records}
+
+        baseline = drive(StreamScheduler(), tiny_zoo, tiny_cohort, knn_detector, n_ticks=20)
+
+        fabric = ShardedScheduler(n_shards=2)
+        try:
+            for record in records:
+                fabric.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "knn": StreamingDetector(
+                            knn_detector, unit="sample", include_scores=True
+                        )
+                    },
+                )
+            by_shard = {}
+            for record in records:
+                by_shard.setdefault(fabric.session(record.label).shard, []).append(
+                    record.label
+                )
+            assert len(by_shard) == 2
+            dead_shard = min(by_shard)
+            victims = set(by_shard[dead_shard])
+            survivors = {record.label for record in records} - victims
+
+            outs = {record.label: [] for record in records}
+            for tick in range(20):
+                if tick == 10:
+                    # Kill one worker process mid-fleet.
+                    fabric._shards[dead_shard].process.terminate()
+                    fabric._shards[dead_shard].process.join()
+                samples = {
+                    record.label: streams[record.label][tick] for record in records
+                }
+                for session_id, outcome in fabric.tick(samples).items():
+                    outs[session_id].append(outcome)
+        finally:
+            fabric.shutdown()
+
+        for label in survivors:
+            # Co-scheduled shards: bitwise-identical to the no-death baseline.
+            assert [tick_fingerprint(outcome) for outcome in outs[label]] == baseline[label]
+        for label in victims:
+            before = [tick_fingerprint(outcome) for outcome in outs[label][:10]]
+            assert before == baseline[label][:10]
+            for outcome in outs[label][10:]:
+                assert outcome.dropped
+                assert f"shard {dead_shard} worker died" in outcome.error
+                assert outcome.prediction is None
+            # The mirror keeps counting ticks so a recovered flow could resume.
+            assert [outcome.tick for outcome in outs[label]] == list(range(20))
+
+
+class TestShardedCampaign:
+    def test_run_cohort_n_workers_matches_single(
+        self, tiny_zoo, tiny_cohort, tiny_test_campaign
+    ):
+        campaign = AttackCampaign(tiny_zoo, stride=6)
+        sharded = campaign.run_cohort(tiny_cohort, split="test", n_workers=2)
+        single = tiny_test_campaign
+        assert len(sharded.records) == len(single.records) > 0
+        for left, right in zip(single.records, sharded.records):
+            assert left.patient_label == right.patient_label
+            assert left.window_index == right.window_index
+            assert left.target_index == right.target_index
+            assert left.result.eligible == right.result.eligible
+            assert left.result.success == right.result.success
+            assert left.result.path == right.result.path
+            assert left.result.queries == right.result.queries
+            np.testing.assert_array_equal(
+                left.result.adversarial_window, right.result.adversarial_window
+            )
+
+    def test_n_workers_requires_cohort_batched(self, tiny_zoo, tiny_cohort):
+        campaign = AttackCampaign(tiny_zoo, stride=6, cohort_batched=False)
+        with pytest.raises(ValueError, match="cohort_batched"):
+            campaign.run_cohort(tiny_cohort, n_workers=2)
+
+    def test_n_workers_validated(self, tiny_zoo, tiny_cohort):
+        campaign = AttackCampaign(tiny_zoo, stride=6)
+        with pytest.raises(ValueError, match="n_workers"):
+            campaign.run_cohort(tiny_cohort, n_workers=0)
+
+
+class TestOrderInvariance:
+    """The order-dependence audit: permutations must not change results."""
+
+    def test_tick_mapping_order_invariant(self, tiny_zoo, tiny_cohort, knn_detector):
+        records = list(tiny_cohort)
+        streams = {record.label: record.features("test")[:25] for record in records}
+
+        def run(tick_order):
+            scheduler = StreamScheduler()
+            for record in records:
+                scheduler.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "knn": StreamingDetector(
+                            knn_detector, unit="sample", include_scores=True
+                        )
+                    },
+                )
+            outs = {record.label: [] for record in records}
+            for tick in range(25):
+                samples = {
+                    record.label: streams[record.label][tick] for record in tick_order
+                }
+                for session_id, outcome in scheduler.tick(samples).items():
+                    outs[session_id].append(tick_fingerprint(outcome))
+            return outs
+
+        assert run(records) == run(records[::-1])
+
+    def test_session_open_order_invariant(self, tiny_zoo, tiny_cohort, knn_detector):
+        """Slot assignment must not leak into outputs (row-permutation proof)."""
+
+        def run(open_order):
+            scheduler = StreamScheduler()
+            records = list(tiny_cohort)
+            streams = {
+                record.label: record.features("test")[:25] for record in records
+            }
+            for record in open_order:
+                scheduler.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "knn": StreamingDetector(
+                            knn_detector, unit="sample", include_scores=True
+                        )
+                    },
+                )
+            outs = {record.label: [] for record in records}
+            for tick in range(25):
+                samples = {
+                    record.label: streams[record.label][tick] for record in records
+                }
+                for session_id, outcome in scheduler.tick(samples).items():
+                    outs[session_id].append(tick_fingerprint(outcome))
+            return outs
+
+        records = list(tiny_cohort)
+        assert run(records) == run(records[::-1])
+
+    def test_run_cohort_patient_order_invariant(self, tiny_zoo, tiny_cohort):
+        """Per-patient campaign records don't depend on cohort order (greedy)."""
+        campaign = AttackCampaign(tiny_zoo, stride=20)
+        records = list(tiny_cohort)
+
+        def by_patient(result):
+            out = {}
+            for record in result.records:
+                out.setdefault(record.patient_label, []).append(
+                    (
+                        record.window_index,
+                        record.target_index,
+                        record.result.eligible,
+                        record.result.success,
+                        tuple(record.result.path),
+                        record.result.queries,
+                        record.result.adversarial_window.tobytes(),
+                    )
+                )
+            return out
+
+        forward = campaign.run_cohort(records, split="test")
+        reversed_ = campaign.run_cohort(records[::-1], split="test")
+        assert by_patient(forward) == by_patient(reversed_)
+
+    def test_report_aggregation_order_invariant(
+        self, tiny_zoo, tiny_cohort, knn_detector
+    ):
+        """Confusion/rollup/health summaries survive session-dict permutation."""
+        from repro.serving import ReplayReport
+
+        label = next(iter(tiny_cohort)).label
+        attacker = OnlineAttacker({label: [AttackEpisode(start=15, duration=10)]})
+        report = StreamReplayer(
+            tiny_zoo,
+            detectors={"knn": (knn_detector, "sample")},
+            attacker=attacker,
+        ).replay(tiny_cohort, split="test", max_ticks=35)
+
+        permuted = ReplayReport(
+            sessions=dict(reversed(list(report.sessions.items()))),
+            episodes=list(reversed(report.episodes)),
+            detector_names=report.detector_names,
+        )
+        original = report.rollup("knn")
+        shuffled = permuted.rollup("knn")
+        for key in original:
+            if np.isnan(original[key]):
+                assert np.isnan(shuffled[key])
+            else:
+                assert original[key] == shuffled[key]
+        assert report.confusion("knn") == permuted.confusion("knn")
+        assert report.health_summary() == permuted.health_summary()
+        assert report.trace_breakdown("knn") == permuted.trace_breakdown("knn")
+
+
+class TestShardSmokeGate:
+    """Wire scripts/check_parity.py's shard smoke into the tier-1 flow."""
+
+    @pytest.fixture(scope="class")
+    def check_parity(self):
+        path = Path(__file__).resolve().parents[1] / "scripts" / "check_parity.py"
+        spec = importlib.util.spec_from_file_location("check_parity_shard", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_shard_smoke_passes(self, check_parity, tiny_zoo, tiny_cohort):
+        report = check_parity.run_shard_smoke(tiny_zoo, tiny_cohort, n_ticks=40)
+        assert report["shard_counts"] == (1, 2, 4)
+        assert report["campaign_records"] > 0
