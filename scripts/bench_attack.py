@@ -33,7 +33,6 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import time
 from pathlib import Path
 
 import numpy as np
@@ -41,6 +40,7 @@ import numpy as np
 from repro.attacks import AttackCampaign, BeamExplorer, EvasionAttack, GreedyExplorer, RandomExplorer
 from repro.data import SyntheticOhioT1DM, make_patient_profile
 from repro.glucose import GlucoseModelZoo
+from repro.obs import Timer
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -98,7 +98,7 @@ def time_campaign(
 ):
     """Run the fixed campaign ``repeats`` times; return (best seconds, result)."""
     set_fast_path(zoo, fast_path)
-    best = float("inf")
+    timer = Timer()
     result = None
     try:
         for _ in range(repeats):
@@ -109,12 +109,11 @@ def time_campaign(
                 cohort_batched=cohort_batched,
                 attack_factory=make_attack_factory(explorer_factory, vectorized),
             )
-            start = time.perf_counter()
-            result = campaign.run_cohort(cohort, split="test")
-            best = min(best, time.perf_counter() - start)
+            with timer.lap():
+                result = campaign.run_cohort(cohort, split="test")
     finally:
         set_fast_path(zoo, True)
-    return best, result
+    return timer.best, result
 
 
 def equivalence_check(zoo, cohort) -> float:

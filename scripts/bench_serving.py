@@ -56,13 +56,13 @@ import json
 import os
 import platform
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.data import SyntheticOhioT1DM, make_patient_profile
 from repro.glucose import GlucoseModelZoo
+from repro.obs import Observer, Timer
 from repro.serving import StreamScheduler
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -113,6 +113,12 @@ SMOKE_SESSIONS = 24
 SMOKE_TICKS = 6
 SMOKE_LANES = 4
 
+#: Observability overhead check: the same streamed fleet served with a live
+#: :class:`repro.obs.Observer` (metrics + per-tick spans) vs without one.
+OBS_SESSIONS = 64
+OBS_TICKS = 40
+TARGET_OBS_OVERHEAD_PCT = 5.0
+
 
 def build_fixture():
     profiles = [make_patient_profile(subset, pid) for subset, pid in BENCH_PATIENTS]
@@ -133,8 +139,8 @@ def session_traces(cohort, n_sessions: int, n_ticks: int):
     return [base[index % len(base)] for index in range(n_sessions)]
 
 
-def run_baseline(predictor, traces, warmup: int, ticks: int):
-    """Naive per-session re-predict loop; returns (seconds, predictions)."""
+def run_baseline(predictor, traces, warmup: int, ticks: int, timer: Timer):
+    """Naive per-session re-predict loop; laps ``timer``, returns predictions."""
     history = predictor.history
     rings = [[] for _ in traces]
     for tick in range(warmup):
@@ -142,19 +148,19 @@ def run_baseline(predictor, traces, warmup: int, ticks: int):
             ring.append(trace[tick])
             del ring[:-history]
     predictions = np.full((ticks, len(traces)), np.nan)
-    start = time.perf_counter()
-    for tick in range(ticks):
-        for index, (ring, trace) in enumerate(zip(rings, traces)):
-            ring.append(trace[warmup + tick])
-            del ring[:-history]
-            if len(ring) == history:
-                predictions[tick, index] = predictor.predict(np.asarray(ring)[np.newaxis])[0]
-    return time.perf_counter() - start, predictions
+    with timer.lap():
+        for tick in range(ticks):
+            for index, (ring, trace) in enumerate(zip(rings, traces)):
+                ring.append(trace[warmup + tick])
+                del ring[:-history]
+                if len(ring) == history:
+                    predictions[tick, index] = predictor.predict(np.asarray(ring)[np.newaxis])[0]
+    return predictions
 
 
-def run_streamed(predictor, traces, warmup: int, ticks: int):
-    """Scheduler-coalesced incremental serving; returns (seconds, predictions)."""
-    scheduler = StreamScheduler()
+def run_streamed(predictor, traces, warmup: int, ticks: int, timer: Timer, obs=None):
+    """Scheduler-coalesced incremental serving; laps ``timer``, returns predictions."""
+    scheduler = StreamScheduler(obs=obs)
     ids = [f"s{index}" for index in range(len(traces))]
     for session_id in ids:
         scheduler.open_session(session_id, predictor, session_id=session_id)
@@ -163,15 +169,15 @@ def run_streamed(predictor, traces, warmup: int, ticks: int):
             {session_id: trace[tick] for session_id, trace in zip(ids, traces)}
         )
     predictions = np.full((ticks, len(traces)), np.nan)
-    start = time.perf_counter()
-    for tick in range(ticks):
-        outcomes = scheduler.tick(
-            {session_id: trace[warmup + tick] for session_id, trace in zip(ids, traces)}
-        )
-        for index, session_id in enumerate(ids):
-            value = outcomes[session_id].prediction
-            predictions[tick, index] = np.nan if value is None else value
-    return time.perf_counter() - start, predictions
+    with timer.lap():
+        for tick in range(ticks):
+            outcomes = scheduler.tick(
+                {session_id: trace[warmup + tick] for session_id, trace in zip(ids, traces)}
+            )
+            for index, session_id in enumerate(ids):
+                value = outcomes[session_id].prediction
+                predictions[tick, index] = np.nan if value is None else value
+    return predictions
 
 
 def bench_session_count(zoo, cohort, n_sessions: int, ticks: int, repeats: int):
@@ -184,14 +190,14 @@ def bench_session_count(zoo, cohort, n_sessions: int, ticks: int, repeats: int):
         # timings; extra best-of repetitions keep scheduler noise from
         # failing the run on loaded machines (each pass is only ~50 ms).
         repeats = repeats * 3
-    baseline_best = float("inf")
-    streamed_best = float("inf")
+    baseline_timer = Timer()
+    streamed_timer = Timer()
     baseline_preds = streamed_preds = None
     for _ in range(repeats):
-        seconds, baseline_preds = run_baseline(predictor, traces, warmup, ticks)
-        baseline_best = min(baseline_best, seconds)
-        seconds, streamed_preds = run_streamed(predictor, traces, warmup, ticks)
-        streamed_best = min(streamed_best, seconds)
+        baseline_preds = run_baseline(predictor, traces, warmup, ticks, baseline_timer)
+        streamed_preds = run_streamed(predictor, traces, warmup, ticks, streamed_timer)
+    baseline_best = baseline_timer.best
+    streamed_best = streamed_timer.best
 
     gap = float(np.abs(baseline_preds - streamed_preds).max())
     return {
@@ -250,17 +256,20 @@ def bench_incremental_scoring(zoo, cohort, repeats: int):
     def tick_windows(tick):
         return np.stack([trace[tick : tick + history] for trace in traces])
 
+    cold_timer = Timer()
+    warm_timer = Timer()
+
     def run_cold():
         detector._rng = as_random_state(INCREMENTAL_RNG_SEED)
         for tick in range(INCREMENTAL_WARMUP_TICKS):
             detector.scores(tick_windows(tick))
         scores = []
-        start = time.perf_counter()
-        for tick in range(
-            INCREMENTAL_WARMUP_TICKS, INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS
-        ):
-            scores.append(detector.scores(tick_windows(tick)))
-        return time.perf_counter() - start, scores
+        with cold_timer.lap():
+            for tick in range(
+                INCREMENTAL_WARMUP_TICKS, INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS
+            ):
+                scores.append(detector.scores(tick_windows(tick)))
+        return scores
 
     def run_warm():
         detector._rng = as_random_state(INCREMENTAL_RNG_SEED)
@@ -268,20 +277,17 @@ def bench_incremental_scoring(zoo, cohort, repeats: int):
         for tick in range(INCREMENTAL_WARMUP_TICKS):
             detector.scores_incremental(tick_windows(tick), states)
         scores = []
-        start = time.perf_counter()
-        for tick in range(
-            INCREMENTAL_WARMUP_TICKS, INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS
-        ):
-            scores.append(detector.scores_incremental(tick_windows(tick), states))
-        return time.perf_counter() - start, scores
+        with warm_timer.lap():
+            for tick in range(
+                INCREMENTAL_WARMUP_TICKS, INCREMENTAL_WARMUP_TICKS + INCREMENTAL_TICKS
+            ):
+                scores.append(detector.scores_incremental(tick_windows(tick), states))
+        return scores
 
-    cold_best = warm_best = float("inf")
     worst_gap = 0.0
     for _ in range(repeats):
-        cold_seconds, cold_scores = run_cold()
-        warm_seconds, warm_scores = run_warm()
-        cold_best = min(cold_best, cold_seconds)
-        warm_best = min(warm_best, warm_seconds)
+        cold_scores = run_cold()
+        warm_scores = run_warm()
         for cold, warm in zip(cold_scores, warm_scores):
             worst_gap = max(worst_gap, float(np.abs(cold - warm).max()))
             cold_flags = detector.calibrator.predict(cold)
@@ -295,6 +301,8 @@ def bench_incremental_scoring(zoo, cohort, repeats: int):
             f"warm-vs-cold DR score gap {worst_gap:.3f} exceeds the "
             f"{INCREMENTAL_SCORE_TOLERANCE} tolerance"
         )
+    cold_best = cold_timer.best
+    warm_best = warm_timer.best
     return {
         "n_sessions": INCREMENTAL_SESSIONS,
         "ticks": INCREMENTAL_TICKS,
@@ -344,13 +352,16 @@ def clone_lane_variants(predictor, n_lanes: int):
     return variants
 
 
-def run_fleet(scheduler, variants, traces, warmup: int, ticks: int, collect_latencies: bool = False):
+def run_fleet(scheduler, variants, traces, warmup: int, ticks: int, collect_latencies: bool = False, timer: Timer = None):
     """Serve every trace through ``scheduler``; returns (seconds, predictions, latencies).
 
     Sessions are assigned round-robin to the model variants so every lane
     carries an equal share of the fleet.  ``collect_latencies`` gathers the
     worker-measured per-shard tick times a :class:`ShardedScheduler` exposes.
+    Pass a shared ``timer`` to accumulate best-of laps across calls.
     """
+    if timer is None:
+        timer = Timer()
     ids = [f"s{index:04d}" for index in range(len(traces))]
     for index, session_id in enumerate(ids):
         scheduler.open_session(
@@ -362,18 +373,18 @@ def run_fleet(scheduler, variants, traces, warmup: int, ticks: int, collect_late
         )
     predictions = np.full((ticks, len(traces)), np.nan)
     shard_latencies: dict = {}
-    start = time.perf_counter()
-    for tick in range(ticks):
-        outcomes = scheduler.tick(
-            {session_id: trace[warmup + tick] for session_id, trace in zip(ids, traces)}
-        )
-        if collect_latencies:
-            for shard, seconds in scheduler.last_tick_latencies.items():
-                shard_latencies.setdefault(shard, []).append(seconds)
-        for index, session_id in enumerate(ids):
-            value = outcomes[session_id].prediction
-            predictions[tick, index] = np.nan if value is None else value
-    return time.perf_counter() - start, predictions, shard_latencies
+    with timer.lap():
+        for tick in range(ticks):
+            outcomes = scheduler.tick(
+                {session_id: trace[warmup + tick] for session_id, trace in zip(ids, traces)}
+            )
+            if collect_latencies:
+                for shard, seconds in scheduler.last_tick_latencies.items():
+                    shard_latencies.setdefault(shard, []).append(seconds)
+            for index, session_id in enumerate(ids):
+                value = outcomes[session_id].prediction
+                predictions[tick, index] = np.nan if value is None else value
+    return timer.last, predictions, shard_latencies
 
 
 def bench_shard_sweep(zoo, cohort, repeats: int):
@@ -389,23 +400,24 @@ def bench_shard_sweep(zoo, cohort, repeats: int):
     ticks = SHARD_SWEEP_TICKS
     traces = session_traces(cohort, SHARD_SWEEP_SESSIONS, warmup + ticks)
 
-    single_best = float("inf")
+    single_timer = Timer()
     single_preds = None
     for _ in range(repeats):
-        seconds, single_preds, _ = run_fleet(
-            StreamScheduler(), variants, traces, warmup, ticks
+        _, single_preds, _ = run_fleet(
+            StreamScheduler(), variants, traces, warmup, ticks, timer=single_timer
         )
-        single_best = min(single_best, seconds)
+    single_best = single_timer.best
 
     sweep = {}
     for n_workers in SHARD_WORKER_COUNTS:
-        best = float("inf")
+        worker_timer = Timer()
         latencies: dict = {}
         for _ in range(repeats):
             fabric = ShardedScheduler(n_shards=n_workers)
             try:
-                seconds, preds, latencies = run_fleet(
-                    fabric, variants, traces, warmup, ticks, collect_latencies=True
+                _, preds, latencies = run_fleet(
+                    fabric, variants, traces, warmup, ticks,
+                    collect_latencies=True, timer=worker_timer,
                 )
             finally:
                 fabric.shutdown()
@@ -414,7 +426,7 @@ def bench_shard_sweep(zoo, cohort, repeats: int):
                     f"sharded predictions diverged from single-process at "
                     f"{n_workers} workers"
                 )
-            best = min(best, seconds)
+        best = worker_timer.best
         per_shard = {
             str(shard): {
                 "p50_ms": float(np.percentile(values, 50) * 1e3),
@@ -460,6 +472,53 @@ def bench_shard_sweep(zoo, cohort, repeats: int):
             bool(speedup_at_4 >= TARGET_SHARD_SPEEDUP_AT_4) if gate_applicable else None
         ),
         "bitwise_parity": True,
+    }
+
+
+def bench_observability(zoo, cohort, repeats: int):
+    """Tick-throughput overhead of a live Observer on the streamed fleet.
+
+    Serves the same ``OBS_SESSIONS``-session fleet twice per repeat — once
+    bare, once with an :class:`~repro.obs.Observer` recording metrics and
+    per-tick spans — and compares best-of tick throughput.  Predictions must
+    be bitwise identical (the inertness contract); the overhead target is
+    informational (< ``TARGET_OBS_OVERHEAD_PCT`` %) and recorded in the
+    report rather than gated, since it measures pure scheduler dispatch with
+    sub-ms ticks — the least favorable (most instrumentation-sensitive)
+    workload the fabric has.
+    """
+    predictor = zoo.aggregate
+    warmup = predictor.history
+    traces = session_traces(cohort, OBS_SESSIONS, warmup + OBS_TICKS)
+
+    plain_timer = Timer()
+    traced_timer = Timer()
+    plain_preds = traced_preds = None
+    observer = None
+    for _ in range(repeats):
+        plain_preds = run_streamed(predictor, traces, warmup, OBS_TICKS, plain_timer)
+        observer = Observer()
+        traced_preds = run_streamed(
+            predictor, traces, warmup, OBS_TICKS, traced_timer, obs=observer
+        )
+    if not np.array_equal(plain_preds, traced_preds, equal_nan=True):
+        raise SystemExit("observer perturbed streamed predictions (inertness violation)")
+
+    snapshot = observer.registry.snapshot()
+    overhead_pct = (traced_timer.best / plain_timer.best - 1.0) * 100.0
+    return {
+        "n_sessions": OBS_SESSIONS,
+        "ticks": OBS_TICKS,
+        "plain_seconds": plain_timer.best,
+        "traced_seconds": traced_timer.best,
+        "plain_ticks_per_sec": OBS_TICKS / plain_timer.best,
+        "traced_ticks_per_sec": OBS_TICKS / traced_timer.best,
+        "overhead_pct": overhead_pct,
+        "target_overhead_pct": TARGET_OBS_OVERHEAD_PCT,
+        "meets_target": bool(overhead_pct < TARGET_OBS_OVERHEAD_PCT),
+        "series_recorded": sum(len(section) for section in snapshot.values()),
+        "spans_recorded": len(observer.spans),
+        "prediction_parity": True,  # asserted above
     }
 
 
@@ -567,6 +626,17 @@ def main() -> None:
             f"{SHARD_GATE_MIN_CORES} and is recorded as inapplicable"
         )
 
+    print(
+        f"timing observability overhead ({OBS_SESSIONS} sessions, live observer)..."
+    )
+    observability = bench_observability(zoo, cohort, args.repeats)
+    print(
+        f"  bare {observability['plain_ticks_per_sec']:.1f} ticks/s, traced "
+        f"{observability['traced_ticks_per_sec']:.1f} ticks/s "
+        f"({observability['overhead_pct']:+.1f}% overhead, target < "
+        f"{TARGET_OBS_OVERHEAD_PCT:g}%, predictions bitwise identical)"
+    )
+
     print("checking streaming detector verdict parity (attacked replay)...")
     from check_parity import run_serving_smoke
 
@@ -609,6 +679,7 @@ def main() -> None:
             ),
         },
         "shard_sweep": shard_sweep,
+        "observability": observability,
         "equivalence": {
             "max_prediction_gap": worst_gap,
             "tolerance": TOLERANCE,

@@ -36,7 +36,6 @@ import argparse
 import json
 import platform
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -54,6 +53,7 @@ from repro.data import SyntheticOhioT1DM, make_patient_profile
 from repro.detectors import MADGANDetector
 from repro.glucose import GlucoseModelZoo
 from repro.glucose.predictor import GlucosePredictor
+from repro.obs import Timer
 
 BENCH_PATIENTS = [("A", 5), ("A", 0), ("A", 2)]
 BENCH_SEED = 17
@@ -120,13 +120,12 @@ def bench_predictor(windows, targets, repeats: int, kwargs=None):
     best = {}
     histories = {}
     for fast in (False, True):
-        best_seconds = float("inf")
+        timer = Timer()
         for _ in range(repeats):
             predictor = GlucosePredictor(use_fast_path=fast, **kwargs)
-            start = time.perf_counter()
-            predictor.fit(windows, targets)
-            best_seconds = min(best_seconds, time.perf_counter() - start)
-        best[fast] = best_seconds
+            with timer.lap():
+                predictor.fit(windows, targets)
+        best[fast] = timer.best
         histories[fast] = list(predictor.history_.epoch_losses)
 
     gap = assert_loss_curves_match(histories[False], histories[True], "predictor fit")
@@ -149,13 +148,12 @@ def bench_madgan(windows, repeats: int, kwargs=None):
     best = {}
     histories = {}
     for fast in (False, True):
-        best_seconds = float("inf")
+        timer = Timer()
         for _ in range(repeats):
             detector = MADGANDetector(use_fast_path=fast, **kwargs)
-            start = time.perf_counter()
-            detector.fit(windows)
-            best_seconds = min(best_seconds, time.perf_counter() - start)
-        best[fast] = best_seconds
+            with timer.lap():
+                detector.fit(windows)
+        best[fast] = timer.best
         histories[fast] = detector.history_
 
     generator_gap = assert_loss_curves_match(

@@ -364,8 +364,11 @@ def _replay_fingerprint(report) -> dict:
             "ingress": [outcome.ingress for outcome in trace.ticks],
             "dropped": [outcome.dropped for outcome in trace.ticks],
             "delivered_at": list(trace.delivered_at),
+            # delivered_at/backoff: the device-clock slot and backoff depth
+            # stamped on each transition — sharded workers must reproduce
+            # them bitwise (the `now` pipe-threading contract).
             "health": [
-                (event.tick, str(event.state), event.reason)
+                (event.tick, str(event.state), event.reason, event.delivered_at, event.backoff)
                 for event in trace.health_timeline
             ],
         }
@@ -514,6 +517,123 @@ def run_shard_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str
     }
 
 
+def run_obs_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str, float]:
+    """Telemetry-spine gates (tier-1 smoke): inertness + merge determinism.
+
+    Replays the same chaos mix as :func:`run_shard_smoke` three ways and
+    asserts the two contracts the observability layer pins:
+
+    1. **Inertness** — attaching an :class:`~repro.obs.Observer` never
+       perturbs the replay: the instrumented run's fingerprint (predictions,
+       verdicts, health timeline with ``delivered_at``/``backoff``, tamper
+       records) is bitwise identical to the uninstrumented run's.
+    2. **Merge determinism** — the sharded fabric's merged metric snapshot is
+       bitwise identical to the single-process snapshot at 1, 2, and 4
+       shards for every non-timing series: worker registries ship with tick
+       replies and fold into the parent with order-invariant semantics, so
+       where a lane ran never shows up in the numbers.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    from repro.detectors import KNNDistanceDetector
+    from repro.obs import Observer
+    from repro.serving import (
+        AttackEpisode,
+        DeviceClockConfig,
+        HealthConfig,
+        IngressConfig,
+        IngressPolicy,
+        OnlineAttacker,
+        SensorFaultConfig,
+        SessionChurnConfig,
+        ShardedScheduler,
+        StreamReplayer,
+        StreamScheduler,
+    )
+
+    records = list(cohort)
+    if len({zoo.model_for(record.label).state_hash() for record in records}) > 1:
+        lane_zoo = zoo
+    else:
+        lane_zoo = GlucoseModelZoo(
+            predictor_kwargs=dict(epochs=1, hidden_size=8),
+            train_personalized=True,
+            seed=3,
+        )
+        lane_zoo.fit(cohort)
+    train_windows, _, _ = lane_zoo.dataset.from_cohort(cohort, split="train")
+    detector = KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :])
+
+    faults = SensorFaultConfig(
+        bias_rate=0.05, spike_rate=0.08, malformed_rate=0.05, seed=11
+    )
+    clocks = DeviceClockConfig(drift=0.05, jitter=0.1, dropout=0.05, seed=19)
+    churn = SessionChurnConfig(join_stagger=2, disconnect_every=25, reconnect_after=2)
+    health = HealthConfig(degrade_after=1, quarantine_after=2, backoff_ticks=4)
+    ingress = IngressConfig(policy=IngressPolicy.REJECT)
+    episodes = {records[0].label: [AttackEpisode(start=13, duration=12)]}
+
+    def replay_with(scheduler, obs):
+        attacker = OnlineAttacker(episodes, obs=obs)
+        replayer = StreamReplayer(
+            lane_zoo,
+            detectors={"knn": (detector, "sample")},
+            attacker=attacker,
+            scheduler=scheduler,
+            clocks=clocks,
+            churn=churn,
+            faults=faults,
+            obs=obs,
+        )
+        return replayer.replay(cohort, split="test", max_ticks=n_ticks)
+
+    plain = _replay_fingerprint(
+        replay_with(StreamScheduler(health=health, ingress=ingress), None)
+    )
+    observer = Observer()
+    observed = replay_with(
+        StreamScheduler(health=health, ingress=ingress, obs=observer), observer
+    )
+    assert _replay_fingerprint(observed) == plain, (
+        "attaching an Observer perturbed the replay (inertness violation)"
+    )
+    baseline_series = observer.registry.snapshot()
+    assert baseline_series, "instrumented replay recorded no metric series"
+    assert observer.spans, "instrumented replay recorded no trace spans"
+
+    span_shards = {}
+    for n_shards in (1, 2, 4):
+        shard_obs = Observer()
+        fabric = ShardedScheduler(
+            n_shards=n_shards, health=health, ingress=ingress, obs=shard_obs
+        )
+        try:
+            report = replay_with(fabric, shard_obs)
+        finally:
+            fabric.shutdown()
+        assert _replay_fingerprint(report) == plain, (
+            f"instrumented sharded replay diverged at n_shards={n_shards}"
+        )
+        series = shard_obs.registry.snapshot()
+        assert series == baseline_series, (
+            f"sharded metric snapshot diverged from single-process at "
+            f"n_shards={n_shards}"
+        )
+        span_shards[n_shards] = {
+            span.shard for span in shard_obs.spans if span.shard is not None
+        }
+        assert span_shards[n_shards], (
+            f"no shard-stamped spans shipped back at n_shards={n_shards}"
+        )
+
+    return {
+        "n_series": sum(len(section) for section in baseline_series.values()),
+        "n_spans": len(observer.spans),
+        "shard_counts": (1, 2, 4),
+        "span_shards": {count: sorted(shards) for count, shards in span_shards.items()},
+    }
+
+
 def main() -> int:
     print("building tiny fixture...")
     cohort, zoo = build_fixture()
@@ -566,6 +686,16 @@ def main() -> int:
         f"  sharded == single-process bitwise across shard counts "
         f"{shard['shard_counts']} ({shard['n_sessions']} session segments, "
         f"{shard['campaign_records']} campaign records at n_workers=2)"
+    )
+    print("running obs smoke (telemetry inertness + metric merge determinism)...")
+    try:
+        obs = run_obs_smoke(zoo, cohort)
+    except AssertionError as error:
+        print(f"OBS GATE VIOLATION: {error}")
+        return 1
+    print(
+        f"  observer inert; {obs['n_series']} metric series bitwise identical "
+        f"across shard counts {obs['shard_counts']}"
     )
     print("all parity checks passed")
     return 0

@@ -27,6 +27,17 @@ Subpackages
     incremental recurrent state, a scheduler batching every session sharing a
     model into one step per tick, a mid-stream URET attacker, and live
     attack/detection replay.
+``repro.obs``
+    Deterministic telemetry spine: metrics registry with order-invariant
+    shard merges, per-tick trace spans, structured events, JSONL export,
+    and the best-of-N wall-clock Timer behind every BENCH_*.json number.
 """
+
+import logging
+
+# Library-standard logging hygiene: the package logs structured warnings on
+# degradation paths (worker death, checkpoint rejection, detector failures)
+# but stays silent unless the application configures a handler.
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __version__ = "1.0.0"

@@ -238,6 +238,12 @@ class AttackCampaign:
         stochastic explorers allocate their RNG stream across the merged
         batch (still reproducible for a fixed seed — see
         ``tests/test_attacks_batched.py``).
+    obs:
+        Optional :class:`~repro.obs.Observer`.  Each run folds its record
+        totals into ``campaign.windows_attacked_total`` (labeled eligible /
+        success) and ``campaign.model_queries_total`` — per-record event
+        counts, so the series are independent of batching mode or worker
+        count.  None (the default) records nothing.
     """
 
     def __init__(
@@ -248,6 +254,7 @@ class AttackCampaign:
         attack_factory=None,
         batched: bool = True,
         cohort_batched: Optional[bool] = None,
+        obs=None,
     ):
         if stride <= 0:
             raise ValueError("stride must be positive")
@@ -257,6 +264,21 @@ class AttackCampaign:
         self.attack_factory = attack_factory or (lambda predictor: EvasionAttack(predictor))
         self.batched = bool(batched)
         self.cohort_batched = self.batched if cohort_batched is None else bool(cohort_batched)
+        self.obs = obs
+
+    def _emit_records(self, records: Sequence[WindowAttackRecord]) -> None:
+        """Fold one run's per-window outcomes into the campaign counters."""
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        for record in records:
+            result = record.result
+            registry.inc(
+                "campaign.windows_attacked_total",
+                eligible="yes" if result.eligible else "no",
+                success="yes" if result.success else "no",
+            )
+            registry.inc("campaign.model_queries_total", int(result.queries))
 
     def _prepare_patient(self, record: PatientRecord, split: str):
         """Strided windows + scenarios for one patient, or None if the trace is empty."""
@@ -300,6 +322,7 @@ class AttackCampaign:
         result.records.extend(
             self._records_for(record, split, window_indices, target_indices, attack_results)
         )
+        self._emit_records(result.records)
         return result
 
     def run_cohort(
@@ -399,6 +422,9 @@ class AttackCampaign:
 
         for record in cohort:  # preserve the per-patient record ordering
             merged.records.extend(records_by_label.get(record.label, []))
+        # The per-patient path emitted inside run_patient; the merged path
+        # emits here — either way, once per attacked window.
+        self._emit_records(merged.records)
         return merged
 
     # ------------------------------------------------------------------ sharding

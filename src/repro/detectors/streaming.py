@@ -18,7 +18,7 @@ the per-tick views of every session into one batched ``predict`` call.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -141,6 +141,8 @@ class StreamingDetector:
         self._inversion_state = detector.make_inversion_state() if self.incremental else None
         self._ring = SampleRing(self.history)
         self._ticks = 0
+        # (ticks, fallbacks) high-water mark for drain_inversion_counts().
+        self._inversion_mark = (0, 0)
 
     # ------------------------------------------------------------------- state
     @property
@@ -171,6 +173,30 @@ class StreamingDetector:
         self._ticks = 0
         if self._inversion_state is not None:
             self._inversion_state.reset()
+        self._inversion_mark = (0, 0)
+
+    def drain_inversion_counts(self) -> Optional[Tuple[int, int, int]]:
+        """Inversion-activity deltas since the previous drain, or None.
+
+        Returns ``(scored, fallbacks, deferred)`` for incremental adapters:
+        windows scored through the stream's carry-over state, how many of
+        them fell back to a cold re-anchor (warm ticks are the difference),
+        and whether the stream is currently awaiting a deferred cold
+        re-anchor (0/1).  All three are deterministic event counts read off
+        :class:`~repro.detectors.madgan.InversionState`; the scheduler feeds
+        them into ``detector.inversion_*`` counters after each query.
+        Stateless adapters return None.
+        """
+        state = self._inversion_state
+        if state is None:
+            return None
+        marked_ticks, marked_fallbacks = self._inversion_mark
+        self._inversion_mark = (state.ticks, state.fallbacks)
+        return (
+            state.ticks - marked_ticks,
+            state.fallbacks - marked_fallbacks,
+            1 if state.pending_cold else 0,
+        )
 
     # ------------------------------------------------------------------ ticking
     def prepare(self, sample: np.ndarray):

@@ -1,0 +1,47 @@
+"""Deterministic telemetry spine: metrics, trace spans, profiling hooks.
+
+Three pieces, with a hard determinism boundary between them:
+
+``metrics``
+    :class:`MetricsRegistry` — counters / gauges / fixed-edge histograms
+    whose values are derived only from deterministic quantities (event
+    counts, batch sizes, tick indices).  Snapshots are sorted and merges are
+    permutation-invariant, so a sharded run's merged series equal the
+    single-process series **bitwise** for every non-timing series.
+``trace``
+    :class:`Observer` — bundles a registry with per-tick :class:`Span`
+    stages (ingress → lane gather → lane step → detector batch → health →
+    merge), structured :class:`ObsEvent` occurrences, and JSONL export.
+    Span ``seconds`` and the registry's ``observe_seconds`` channel are the
+    only wall-clock values, and both are excluded from every bitwise
+    comparison.
+``timer``
+    :class:`Timer` — best-of-N laps on the monotonic clock; the single
+    timing source behind every ``BENCH_*.json`` number.
+
+The null config is bitwise inert: every instrumented surface takes
+``obs=None`` by default and records nothing — predictions, verdicts, and
+reports are byte-for-byte the uninstrumented fabric's
+(``scripts/check_parity.py`` gates it).  See ``docs/observability.md`` for
+the metric catalog, span stages, and export format.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_EDGES,
+    MetricsRegistry,
+    render_key,
+    series_key,
+)
+from repro.obs.timer import Timer
+from repro.obs.trace import ObsEvent, Observer, Span
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES",
+    "MetricsRegistry",
+    "ObsEvent",
+    "Observer",
+    "Span",
+    "Timer",
+    "render_key",
+    "series_key",
+]

@@ -134,6 +134,12 @@ class OnlineAttacker:
         resumes from the best known adversarial point instead of the benign
         window.  Costs no extra queries; typically cuts them on warm-miss
         ticks because the seeded search converges in fewer depths.
+    obs:
+        Optional :class:`~repro.obs.Observer` recording the attacker's
+        deterministic activity counters (``attack.ticks_tampered_total``,
+        ``attack.model_queries_total``, ``attack.warm_start_hits_total``, …
+        — all per-record event counts, mirroring :class:`TamperRecord`).
+        None (the default) records nothing.
     """
 
     def __init__(
@@ -144,6 +150,7 @@ class OnlineAttacker:
         sustain: bool = True,
         warm_start: bool = True,
         seed_beam: bool = False,
+        obs=None,
     ):
         if max_tampered_per_tick <= 0:
             raise ValueError("max_tampered_per_tick must be positive")
@@ -162,6 +169,7 @@ class OnlineAttacker:
         self.sustain = bool(sustain)
         self.warm_start = bool(warm_start)
         self.seed_beam = bool(seed_beam)
+        self.obs = obs
         self.records: List[TamperRecord] = []
         # session_id -> the transformation path that reached the goal at that
         # session's previous attacked tick (the warm-start seed).
@@ -325,17 +333,25 @@ class OnlineAttacker:
                 sample[CGM_COLUMN] = tampered_cgm
                 delivered[session_id] = sample
                 self._held_cgm[session_id] = tampered_cgm
-                self.records.append(
-                    TamperRecord(
-                        session_id=session_id,
-                        tick=session.ticks,
-                        scenario=scenario,
-                        benign_cgm=float(benign_sample[CGM_COLUMN]),
-                        delivered_cgm=tampered_cgm,
-                        eligible=bool(result.eligible),
-                        success=success,
-                        queries=int(result.queries),
-                        warm_started=bool(result.warm_started),
-                    )
+                record = TamperRecord(
+                    session_id=session_id,
+                    tick=session.ticks,
+                    scenario=scenario,
+                    benign_cgm=float(benign_sample[CGM_COLUMN]),
+                    delivered_cgm=tampered_cgm,
+                    eligible=bool(result.eligible),
+                    success=success,
+                    queries=int(result.queries),
+                    warm_started=bool(result.warm_started),
                 )
+                self.records.append(record)
+                if self.obs is not None:
+                    registry = self.obs.registry
+                    mode = "search" if record.eligible else "sustain"
+                    registry.inc("attack.ticks_tampered_total", mode=mode)
+                    registry.inc("attack.model_queries_total", record.queries)
+                    if record.warm_started:
+                        registry.inc("attack.warm_start_hits_total")
+                    if record.eligible and record.success:
+                        registry.inc("attack.successful_ticks_total")
         return delivered

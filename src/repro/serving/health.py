@@ -29,6 +29,7 @@ pre-robustness behavior (``tests/test_serving_faults.py`` pins parity).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
@@ -37,6 +38,8 @@ import numpy as np
 
 from repro.data.cohort import CGM_COLUMN
 from repro.glucose.states import MAX_PLAUSIBLE_GLUCOSE
+
+logger = logging.getLogger(__name__)
 
 
 class HealthState(str, Enum):
@@ -150,11 +153,22 @@ class HealthConfig:
 
 @dataclass(frozen=True)
 class HealthEvent:
-    """One state transition in a session's health timeline."""
+    """One state transition in a session's health timeline.
+
+    ``tick`` is the *session-local* tick of the transition; ``delivered_at``
+    is the device-clock slot (the replayer's global tick) of the delivery
+    that triggered it, so quarantine events line up with the trace spans of
+    the tick that caused them (None when the scheduler is driven without a
+    device clock, e.g. direct ``tick()`` calls in tests).  ``backoff`` is
+    the re-admission backoff depth in ticks at a QUARANTINED transition
+    (0 for every other state).
+    """
 
     tick: int
     state: HealthState
     reason: str
+    delivered_at: Optional[int] = None
+    backoff: int = 0
 
 
 class SessionHealth:
@@ -165,10 +179,20 @@ class SessionHealth:
     ``record_error`` on ingress rejections / lane failures / non-finite
     predictions, ``record_clean`` on successful ticks, ``admit`` per
     attempted delivery while quarantined.
+
+    ``session_id`` and ``obs`` are optional observability wiring: with an
+    :class:`~repro.obs.Observer` every transition increments the
+    ``serving.health_transitions_total{state=...}`` counter and records a
+    ``health_transition`` event carrying session/tick identity and backoff
+    depth.  The ``delivered_at`` argument every event method accepts is the
+    device-clock slot of the delivery driving the transition (threaded by
+    the scheduler from ``tick(..., now=)``).
     """
 
-    def __init__(self, config: HealthConfig):
+    def __init__(self, config: HealthConfig, session_id: Optional[str] = None, obs=None):
         self.config = config
+        self.session_id = session_id
+        self.obs = obs
         self.state = HealthState.HEALTHY
         self.consecutive_errors = 0
         self.consecutive_clean = 0
@@ -188,12 +212,41 @@ class SessionHealth:
     def serving(self) -> bool:
         return not self.blocked
 
-    def _transition(self, tick: int, state: HealthState, reason: str) -> None:
+    def _transition(
+        self,
+        tick: int,
+        state: HealthState,
+        reason: str,
+        delivered_at: Optional[int] = None,
+        backoff: int = 0,
+    ) -> None:
         self.state = state
-        self.timeline.append(HealthEvent(tick, state, reason))
+        self.timeline.append(HealthEvent(tick, state, reason, delivered_at, backoff))
+        if state in (HealthState.QUARANTINED, HealthState.FAILED):
+            logger.warning(
+                "session %s -> %s at tick %s (delivered_at=%s): %s",
+                self.session_id,
+                state.value,
+                tick,
+                delivered_at,
+                reason,
+            )
+        if self.obs is not None:
+            self.obs.registry.inc("serving.health_transitions_total", state=state.value)
+            self.obs.event(
+                "health_transition",
+                session=self.session_id,
+                tick=tick,
+                delivered_at=delivered_at,
+                state=state.value,
+                reason=reason,
+                backoff=backoff,
+            )
 
     # ------------------------------------------------------------------- events
-    def record_error(self, tick: int, reason: str) -> HealthState:
+    def record_error(
+        self, tick: int, reason: str, delivered_at: Optional[int] = None
+    ) -> HealthState:
         """Register one error event; returns the (possibly new) state.
 
         A transition *into* QUARANTINED tells the scheduler to reset the
@@ -207,30 +260,53 @@ class SessionHealth:
             return self.state
         probation_strike = self.state == HealthState.RECOVERED
         if probation_strike or self.consecutive_errors >= self.config.quarantine_after:
-            self._quarantine(tick, reason, probation_strike=probation_strike)
+            self._quarantine(
+                tick, reason, probation_strike=probation_strike, delivered_at=delivered_at
+            )
         elif (
             self.state == HealthState.HEALTHY
             and self.consecutive_errors >= self.config.degrade_after
         ):
-            self._transition(tick, HealthState.DEGRADED, reason)
+            self._transition(tick, HealthState.DEGRADED, reason, delivered_at)
         return self.state
 
-    def _quarantine(self, tick: int, reason: str, probation_strike: bool = False) -> None:
+    def _quarantine(
+        self,
+        tick: int,
+        reason: str,
+        probation_strike: bool = False,
+        delivered_at: Optional[int] = None,
+    ) -> None:
         if self.quarantines > self.config.max_readmissions:
-            self._transition(tick, HealthState.FAILED, f"re-admission budget exhausted ({reason})")
+            self._transition(
+                tick,
+                HealthState.FAILED,
+                f"re-admission budget exhausted ({reason})",
+                delivered_at,
+            )
             return
         backoff = self.config.backoff_ticks * (self.config.backoff_factor ** self.quarantines)
         self.quarantines += 1
         if self.quarantines > self.config.max_readmissions:
             # This was the last allowed quarantine — no re-admission follows.
-            self._transition(tick, HealthState.FAILED, f"final quarantine ({reason})")
+            self._transition(
+                tick, HealthState.FAILED, f"final quarantine ({reason})", delivered_at
+            )
             return
         self.backoff_remaining = int(np.ceil(backoff))
         self.consecutive_errors = 0
         prefix = "probation failed: " if probation_strike else ""
-        self._transition(tick, HealthState.QUARANTINED, prefix + reason)
+        self._transition(
+            tick,
+            HealthState.QUARANTINED,
+            prefix + reason,
+            delivered_at,
+            backoff=self.backoff_remaining,
+        )
 
-    def quarantine_now(self, tick: int, reason: str) -> HealthState:
+    def quarantine_now(
+        self, tick: int, reason: str, delivered_at: Optional[int] = None
+    ) -> HealthState:
         """Escalate straight to quarantine (severe failure: lane exception).
 
         Used when the error may have corrupted per-stream state — waiting
@@ -241,10 +317,10 @@ class SessionHealth:
         self.total_errors += 1
         if self.state in (HealthState.QUARANTINED, HealthState.FAILED):
             return self.state
-        self._quarantine(tick, reason)
+        self._quarantine(tick, reason, delivered_at=delivered_at)
         return self.state
 
-    def record_clean(self, tick: int) -> HealthState:
+    def record_clean(self, tick: int, delivered_at: Optional[int] = None) -> HealthState:
         """Register one successful tick; may promote back to HEALTHY."""
         self.consecutive_errors = 0
         self.consecutive_clean += 1
@@ -252,10 +328,10 @@ class SessionHealth:
             self.state in (HealthState.DEGRADED, HealthState.RECOVERED)
             and self.consecutive_clean >= self.config.recover_after
         ):
-            self._transition(tick, HealthState.HEALTHY, "recovered")
+            self._transition(tick, HealthState.HEALTHY, "recovered", delivered_at)
         return self.state
 
-    def admit(self, tick: int) -> bool:
+    def admit(self, tick: int, delivered_at: Optional[int] = None) -> bool:
         """One delivery attempted while blocked; True when re-admitted now.
 
         Each attempted delivery counts the backoff down; when it reaches
@@ -271,7 +347,9 @@ class SessionHealth:
             return False
         self.readmissions += 1
         self.consecutive_clean = 0
-        self._transition(tick, HealthState.RECOVERED, f"re-admission #{self.readmissions}")
+        self._transition(
+            tick, HealthState.RECOVERED, f"re-admission #{self.readmissions}", delivered_at
+        )
         return True
 
 
@@ -296,6 +374,11 @@ def validate_checkpoint(predictor, expected_hash: Optional[str] = None) -> str:
     """
     actual = predictor.state_hash()
     if expected_hash is not None and actual != expected_hash:
+        logger.warning(
+            "checkpoint rejected: state_hash mismatch (expected %s, got %s)",
+            expected_hash,
+            actual,
+        )
         raise CheckpointError(
             f"state_hash mismatch: expected {expected_hash!r}, got {actual!r} — "
             "refusing to serve a model that is not the one the caller pinned"
@@ -318,6 +401,11 @@ def validate_checkpoint(predictor, expected_hash: Optional[str] = None) -> str:
                     if isinstance(inner, np.ndarray) and _scan_non_finite(inner_attr, inner):
                         bad.append(f"scaler.{attr}.{inner_attr}")
     if bad:
+        logger.warning(
+            "checkpoint rejected: non-finite values in %s (state_hash=%s)",
+            ", ".join(sorted(bad)),
+            actual,
+        )
         raise CheckpointError(
             f"checkpoint contains non-finite values in: {', '.join(sorted(bad))} — "
             "refusing to serve a corrupted model"

@@ -427,6 +427,16 @@ class StreamReplayer:
         :class:`~repro.detectors.streaming.StreamingDetector` adapters:
         incremental streams report ``degraded`` verdicts after K
         consecutive cold fallbacks.  None disables the watchdog.
+    obs:
+        Optional :class:`~repro.obs.Observer`.  Forwarded into the
+        scheduler/fabric the replay creates (bring-your-own schedulers wire
+        their own), so every tick records the serving-side series and spans;
+        the replayer additionally stamps each ``scheduler.tick`` with the
+        global replay tick (``now=``), counts applied benign faults by kind
+        (``replay.faults_applied_total``), and — once episodes are scored —
+        emits the replay-level verdict/episode/latency series
+        ``scripts/obs_report.py`` renders into the chaos-harness rollup.
+        None (the default) is bitwise inert.
     """
 
     def __init__(
@@ -440,6 +450,7 @@ class StreamReplayer:
         faults: Optional[SensorFaultConfig] = None,
         divergence_watchdog: Optional[int] = None,
         n_shards: Optional[int] = None,
+        obs=None,
     ):
         if scheduler is not None and n_shards is not None:
             raise ValueError(
@@ -450,6 +461,7 @@ class StreamReplayer:
         self.attacker = attacker
         self.scheduler = scheduler
         self.n_shards = n_shards
+        self.obs = obs
         self.clocks = clocks
         self.churn = churn
         if faults is None or isinstance(faults, FaultInjector):
@@ -478,9 +490,11 @@ class StreamReplayer:
         elif self.n_shards is not None:
             from repro.serving.shard import ShardedScheduler
 
-            scheduler = owned_fabric = ShardedScheduler(n_shards=self.n_shards)
+            scheduler = owned_fabric = ShardedScheduler(
+                n_shards=self.n_shards, obs=self.obs
+            )
         else:
-            scheduler = StreamScheduler()
+            scheduler = StreamScheduler(obs=self.obs)
         report = ReplayReport(detector_names=list(self.detectors))
         churn = self.churn
         injector = self.faults if self.faults is not None and self.faults.enabled else None
@@ -681,6 +695,11 @@ class StreamReplayer:
                             fault_kinds[session_id] = tuple(
                                 kind.value for kind in kinds
                             )
+                            if self.obs is not None:
+                                for kind in kinds:
+                                    self.obs.registry.inc(
+                                        "replay.faults_applied_total", kind=kind.value
+                                    )
                     benign[session_id] = sample
                 if self.attacker is not None:
                     delivered = self.attacker.intercept(
@@ -695,7 +714,7 @@ class StreamReplayer:
                     )
                 else:
                     delivered = benign
-                outcomes = scheduler.tick(delivered)
+                outcomes = scheduler.tick(delivered, now=global_tick)
                 for trace in delivering:
                     session_id = trace["session"].session_id
                     position = trace["position"]
@@ -745,6 +764,7 @@ class StreamReplayer:
                         trace["segment"] += 1
                         trace["join_time"] = global_tick + 1 + churn.reconnect_after
             self._score_episodes(report)
+            self._emit_report(report)
         finally:
             # Always tear the replay's sessions down — a mid-replay failure
             # must not leak sessions/slots into a bring-your-own scheduler.
@@ -761,6 +781,47 @@ class StreamReplayer:
         return report
 
     # ------------------------------------------------------------------ helpers
+    def _emit_report(self, report: ReplayReport) -> None:
+        """Emit the replay-level series the chaos rollup is recomputed from.
+
+        ``replay.verdicts_total`` (labeled by detector / truth / fault /
+        flagged) carries the full tick-level confusion,
+        ``replay.episodes_total`` and the ``replay.detection_latency_ticks``
+        histogram carry the episode view.  Latencies are integral tick
+        counts, so the histogram ``sum`` stays exact and
+        ``sum / count`` reproduces :meth:`ReplayReport.mean_detection_latency`
+        bitwise; ``scripts/obs_report.py`` renders these back into the
+        per-detector rollup shape.
+        """
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        for detector in report.detector_names:
+            for _, outcome, verdict in report._iter_verdicts(detector):
+                if verdict.flagged is None:
+                    flagged = "degraded"
+                else:
+                    flagged = "yes" if verdict.flagged else "no"
+                registry.inc(
+                    "replay.verdicts_total",
+                    detector=detector,
+                    truth="attacked" if outcome.attacked else "benign",
+                    fault="yes" if outcome.fault else "no",
+                    flagged=flagged,
+                )
+            for episode in report.episode_outcomes(detector):
+                registry.inc(
+                    "replay.episodes_total",
+                    detector=detector,
+                    detected="yes" if episode.detected else "no",
+                )
+                if episode.latency_ticks is not None:
+                    registry.observe(
+                        "replay.detection_latency_ticks",
+                        episode.latency_ticks,
+                        detector=detector,
+                    )
+
     def _score_episodes(self, report: ReplayReport) -> None:
         if self.attacker is None:
             return

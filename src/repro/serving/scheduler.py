@@ -29,6 +29,8 @@ sessions and ticks instead of an anonymous traceback.
 from __future__ import annotations
 
 import bisect
+import logging
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -42,6 +44,8 @@ from repro.serving.health import (
     validate_checkpoint,
 )
 from repro.serving.session import PatientSession, SessionTick
+
+logger = logging.getLogger(__name__)
 
 #: Initial number of slots a fresh lane allocates.
 _INITIAL_LANE_CAPACITY = 4
@@ -127,6 +131,15 @@ class StreamScheduler:
         When True, :meth:`open_session` refuses predictors whose weights or
         scaler statistics contain non-finite values
         (:func:`~repro.serving.health.validate_checkpoint`).
+    obs:
+        Optional :class:`~repro.obs.Observer`.  When set, every tick emits
+        deterministic metrics (lane/detector/ingress/health series — see
+        ``docs/observability.md`` for the catalog) and trace spans covering
+        the tick stages (ingress → lane_gather → lane_step → detector_batch
+        → health → merge).  None (the default) is bitwise inert: no
+        counter, span, or event is recorded and the tick path is
+        byte-for-byte the uninstrumented one
+        (``scripts/check_parity.py::run_obs_smoke`` gates this).
     """
 
     def __init__(
@@ -135,13 +148,18 @@ class StreamScheduler:
         health: Optional[HealthConfig] = None,
         ingress: Optional[IngressConfig] = None,
         validate_checkpoints: bool = False,
+        obs=None,
     ):
         self.use_single_fast_path = bool(use_single_fast_path)
         self.health = health
         self.ingress = ingress
         self.validate_checkpoints = bool(validate_checkpoints)
+        self.obs = obs
         self._lanes: Dict[str, _Lane] = {}
         self._sessions: Dict[str, PatientSession] = {}
+        # Device-clock slot of the tick in flight (tick(..., now=)); stamps
+        # health transitions and spans with the delivering global tick.
+        self._now: Optional[int] = None
 
     # ---------------------------------------------------------------- sessions
     def open_session(
@@ -178,10 +196,12 @@ class StreamScheduler:
             lane = self._lanes[lane_key] = _Lane(predictor)
         session = PatientSession(session_id, patient_label, predictor, detectors=detectors)
         if self.health is not None:
-            session.health = SessionHealth(self.health)
+            session.health = SessionHealth(self.health, session_id=session_id, obs=self.obs)
         slot = lane.allocate(session)
         session._attach(self, lane_key, slot)
         self._sessions[session_id] = session
+        if self.obs is not None:
+            self.obs.registry.inc("serving.sessions_opened_total", lane=lane_key)
         return session
 
     def close_session(self, session_id: str) -> None:
@@ -191,6 +211,8 @@ class StreamScheduler:
         lane.release(session._slot)
         if not lane.sessions:
             del self._lanes[session._lane_key]
+        if self.obs is not None:
+            self.obs.registry.inc("serving.sessions_closed_total", lane=session._lane_key)
         session._attach(None, None, None)
 
     @property
@@ -205,6 +227,15 @@ class StreamScheduler:
     def session(self, session_id: str) -> PatientSession:
         return self._sessions[str(session_id)]
 
+    def obs_snapshot(self) -> Optional[Dict[str, dict]]:
+        """Deterministic series snapshot, or None when uninstrumented.
+
+        API-symmetric with
+        :meth:`repro.serving.shard.ShardedScheduler.obs_snapshot`, which
+        returns the order-invariant merge over its workers.
+        """
+        return self.obs.registry.snapshot() if self.obs is not None else None
+
     # ----------------------------------------------------------------- health
     def _quarantine_session(self, session: PatientSession) -> None:
         """Reset a quarantined session's per-stream state (it may be corrupt)."""
@@ -218,6 +249,10 @@ class StreamScheduler:
         """Advance the session's tick counter without serving the sample."""
         tick_index = session.ticks
         session.ticks += 1
+        if self.obs is not None:
+            self.obs.registry.inc(
+                "serving.ticks_dropped_total", lane=session._lane_key, reason=ingress
+            )
         return SessionTick(
             session_id=session.session_id,
             tick=tick_index,
@@ -250,7 +285,7 @@ class StreamScheduler:
                 )
             health = session.health
             if health is not None and health.blocked:
-                if not health.admit(session.ticks):
+                if not health.admit(session.ticks, delivered_at=self._now):
                     dropped[session.session_id] = self._dropped_tick(
                         session, sample, ingress="quarantined"
                     )
@@ -263,14 +298,24 @@ class StreamScheduler:
                     outcome = self._dropped_tick(session, sample, ingress="rejected")
                     dropped[session.session_id] = outcome
                     if health is not None:
-                        health.record_error(outcome.tick, "ingress: rejected sample")
+                        health.record_error(
+                            outcome.tick, "ingress: rejected sample", delivered_at=self._now
+                        )
                         if health.blocked:
                             self._quarantine_session(session)
                     continue
                 if tag is not None:
                     sample = delivered
+                    if self.obs is not None:
+                        self.obs.registry.inc(
+                            "serving.ingress_repaired_total",
+                            lane=session._lane_key,
+                            tag=tag,
+                        )
                     if health is not None:
-                        health.record_error(session.ticks, f"ingress: {tag} sample")
+                        health.record_error(
+                            session.ticks, f"ingress: {tag} sample", delivered_at=self._now
+                        )
                         if health.blocked:
                             outcome = self._dropped_tick(
                                 session, sample, ingress="quarantined"
@@ -283,20 +328,25 @@ class StreamScheduler:
 
     def _health_after_step(self, session: PatientSession, outcome: SessionTick) -> None:
         """Post-step bookkeeping: non-finite predictions are errors."""
-        health = session.health
-        if health is None:
-            return
         # A None prediction is legitimate only while the stream warms up;
         # once the session's window ring is full a non-finite prediction
         # means the recurrent state is poisoned (e.g. a NaN slipped in
         # before ingress validation was enabled).
-        if outcome.prediction is None and session.window() is not None:
+        non_finite = outcome.prediction is None and session.window() is not None
+        if non_finite and self.obs is not None:
+            self.obs.registry.inc(
+                "serving.nonfinite_predictions_total", lane=session._lane_key
+            )
+        health = session.health
+        if health is None:
+            return
+        if non_finite:
             outcome.error = outcome.error or "non-finite prediction"
-            health.record_error(outcome.tick, "non-finite prediction")
+            health.record_error(outcome.tick, "non-finite prediction", delivered_at=self._now)
             if health.blocked:
                 self._quarantine_session(session)
         else:
-            health.record_clean(outcome.tick)
+            health.record_clean(outcome.tick, delivered_at=self._now)
 
     def _lane_failure(
         self,
@@ -308,6 +358,25 @@ class StreamScheduler:
         """One lane's stacked step raised: quarantine its sessions or re-raise."""
         if self.health is None:
             raise SchedulerTickError("lane step", lane_sessions, exc) from exc
+        lane_key = lane_sessions[0]._lane_key
+        session_ids = [session.session_id for session in lane_sessions]
+        logger.warning(
+            "lane %s step failed for session(s) %s at delivered_at=%s: %s: %s",
+            lane_key,
+            session_ids,
+            self._now,
+            type(exc).__name__,
+            exc,
+        )
+        if self.obs is not None:
+            self.obs.registry.inc("serving.lane_failures_total", lane=lane_key)
+            self.obs.event(
+                "lane_failure",
+                lane=lane_key,
+                sessions=session_ids,
+                delivered_at=self._now,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         for session, sample in zip(lane_sessions, stacked):
             outcome = self._dropped_tick(
                 session,
@@ -318,11 +387,15 @@ class StreamScheduler:
             results[session.session_id] = outcome
             # A partially applied stacked step may have corrupted the slot:
             # quarantine immediately rather than waiting out the threshold.
-            session.health.quarantine_now(outcome.tick, f"lane step raised: {exc}")
+            session.health.quarantine_now(
+                outcome.tick, f"lane step raised: {exc}", delivered_at=self._now
+            )
             self._quarantine_session(session)
 
     # ----------------------------------------------------------------- ticking
-    def tick(self, samples: Mapping[str, np.ndarray]) -> Dict[str, SessionTick]:
+    def tick(
+        self, samples: Mapping[str, np.ndarray], now: Optional[int] = None
+    ) -> Dict[str, SessionTick]:
         """Deliver one raw sample to each named session; return their outcomes.
 
         Parameters
@@ -332,6 +405,12 @@ class StreamScheduler:
             (one unscaled measurement per stream), not windows.  Sessions
             not named are untouched (a device that missed a transmission
             slot); their rings simply don't advance.
+        now:
+            Optional device-clock slot (the replayer's global tick) this
+            delivery happened at.  Purely observational: it stamps health
+            transitions (``HealthEvent.delivered_at``) and trace spans so
+            quarantine events line up with the tick that caused them; it
+            never affects predictions or verdicts.
 
         Returns
         -------
@@ -354,16 +433,36 @@ class StreamScheduler:
         single-session tick takes the slim fast path instead — see
         ``use_single_fast_path``.
         """
+        obs = self.obs
+        self._now = now
+        tick_started = perf_counter() if obs is not None else 0.0
+        events_mark = len(obs.events) if obs is not None else 0
         admitted, results = self._admit(samples)
+        if obs is not None:
+            obs.emit_span(
+                "ingress",
+                tick_started,
+                tick=now,
+                delivered=len(samples),
+                admitted=len(admitted),
+                dropped=len(results),
+            )
         if not admitted:
+            if obs is not None:
+                self._finish_tick_obs(tick_started, events_mark, results)
             return results
         if self.use_single_fast_path and len(admitted) == 1:
             session, sample, tag = admitted[0]
             results.update(self._tick_single(session, sample, tag))
+            if obs is not None:
+                self._finish_tick_obs(tick_started, events_mark, results)
             return results
+        gather_started = perf_counter() if obs is not None else 0.0
         per_lane: Dict[str, List[Tuple[PatientSession, np.ndarray, Optional[str]]]] = {}
         for session, sample, tag in admitted:
             per_lane.setdefault(session._lane_key, []).append((session, sample, tag))
+        if obs is not None:
+            obs.emit_span("lane_gather", gather_started, tick=now, lanes=len(per_lane))
 
         # (detector object id, view shape) -> stacked views + where they go
         pending_views: Dict[tuple, dict] = {}
@@ -373,6 +472,7 @@ class StreamScheduler:
             lane_sessions = [session for session, _, _ in items]
             stacked = np.stack([sample for _, sample, _ in items])
             rows = np.array([session._slot for session in lane_sessions])
+            lane_started = perf_counter() if obs is not None else 0.0
             try:
                 predictions = lane.predictor.step_stream(stacked, lane.state, rows=rows)
             except Exception as exc:
@@ -393,12 +493,16 @@ class StreamScheduler:
                     ingress=tag,
                 )
                 results[session.session_id] = outcome
+                if obs is not None:
+                    obs.registry.inc("serving.ticks_served_total", lane=lane_key)
                 self._health_after_step(session, outcome)
 
                 for name, adapter in session.detectors.items():
                     detector_tick, view = adapter.prepare(sample)
                     if view is None:
                         outcome.verdicts[name] = StreamVerdict(tick=detector_tick, warming=True)
+                        if obs is not None:
+                            obs.registry.inc("serving.detector_warming_total", detector=name)
                         continue
                     # Batches are scoped to the lane: one query per distinct
                     # detector per lane, NOT per detector fleet-wide.  BLAS
@@ -424,11 +528,31 @@ class StreamScheduler:
                     )
                     group["views"].append(view)
                     group["targets"].append((outcome, name, adapter, detector_tick, session))
+            if obs is not None:
+                obs.registry.observe("serving.lane_step_batch", len(items), lane=lane_key)
+                obs.emit_span(
+                    "lane_step",
+                    lane_started,
+                    tick=now,
+                    lane=lane_key,
+                    sessions=tuple(session.session_id for session in lane_sessions),
+                    batch=len(items),
+                )
 
         # One batched query per lane per distinct detector object and view
         # shape; incremental adapters additionally thread their per-stream
         # states through the detector's batched incremental call.
-        for group in pending_views.values():
+        for group_key, group in pending_views.items():
+            if obs is not None:
+                group_started = perf_counter()
+                obs.registry.inc(
+                    "serving.detector_queries_total",
+                    lane=group_key[0],
+                    incremental="yes" if group["incremental"] else "no",
+                )
+                obs.registry.observe(
+                    "serving.detector_batch", len(group["targets"]), lane=group_key[0]
+                )
             stacked_views = np.concatenate(group["views"])
             wants_scores = any(adapter.include_scores for _, _, adapter, _, _ in group["targets"])
             try:
@@ -451,26 +575,109 @@ class StreamScheduler:
                     if scores is not None and adapter.include_scores
                     else None
                 )
-                outcome.verdicts[name] = StreamVerdict(
+                verdict = StreamVerdict(
                     tick=detector_tick,
                     warming=False,
                     flagged=bool(flags[index]),
                     score=score,
                     degraded=adapter.watchdog_tripped(),
                 )
+                outcome.verdicts[name] = verdict
+                if obs is not None:
+                    obs.registry.inc(
+                        "serving.detector_verdicts_total",
+                        detector=name,
+                        flagged="yes" if verdict.flagged else "no",
+                    )
+                    if verdict.degraded:
+                        obs.registry.inc("serving.watchdog_degraded_total", detector=name)
+            if obs is not None:
+                if group["incremental"]:
+                    for _, name, adapter, _, _ in group["targets"]:
+                        self._observe_inversion(name, adapter)
+                obs.emit_span(
+                    "detector_batch",
+                    group_started,
+                    tick=now,
+                    lane=group_key[0],
+                    sessions=tuple(
+                        session.session_id for _, _, _, _, session in group["targets"]
+                    ),
+                    batch=len(group["targets"]),
+                    incremental=group["incremental"],
+                )
+        if obs is not None:
+            self._finish_tick_obs(tick_started, events_mark, results)
         return results
+
+    def _observe_inversion(self, name: str, adapter) -> None:
+        """Fold one incremental adapter's inversion-activity deltas in."""
+        counts = adapter.drain_inversion_counts()
+        if counts is None:
+            return
+        scored, fallbacks, deferred = counts
+        registry = self.obs.registry
+        if scored:
+            registry.inc("detector.inversion_ticks_total", scored, detector=name)
+        if fallbacks:
+            registry.inc("detector.inversion_fallbacks_total", fallbacks, detector=name)
+        if deferred:
+            registry.inc("detector.inversion_deferred_total", deferred, detector=name)
+
+    def _finish_tick_obs(self, tick_started: float, events_mark: int, results) -> None:
+        """Emit the tick's trailing ``health`` and ``merge`` spans."""
+        obs = self.obs
+        transitions = sum(
+            1
+            for event in obs.events[events_mark:]
+            if event.kind == "health_transition"
+        )
+        # The health stage is interleaved with lane/detector work, so its
+        # span is an aggregate marker (seconds=None) carrying the number of
+        # state transitions this tick caused; the merge span's seconds are
+        # the whole-tick envelope.
+        obs.emit_span("health", None, tick=self._now, transitions=transitions)
+        served = sum(1 for outcome in results.values() if not outcome.dropped)
+        obs.emit_span(
+            "merge",
+            tick_started,
+            tick=self._now,
+            results=len(results),
+            served=served,
+            dropped=len(results) - served,
+        )
 
     def _detector_failure(self, targets, exc: BaseException) -> None:
         """One batched detector query raised: degrade its verdicts or re-raise."""
         if self.health is None:
             sessions = [session for _, _, _, _, session in targets]
             raise SchedulerTickError("detector query", sessions, exc) from exc
+        session_ids = [session.session_id for _, _, _, _, session in targets]
+        logger.warning(
+            "detector query degraded for session(s) %s at delivered_at=%s: %s: %s",
+            session_ids,
+            self._now,
+            type(exc).__name__,
+            exc,
+        )
+        obs = self.obs
+        if obs is not None:
+            obs.event(
+                "detector_failure",
+                sessions=session_ids,
+                delivered_at=self._now,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         for outcome, name, _, detector_tick, session in targets:
+            if obs is not None:
+                obs.registry.inc("serving.detector_failures_total", detector=name)
             outcome.verdicts[name] = StreamVerdict(
                 tick=detector_tick, warming=False, flagged=None, degraded=True
             )
             outcome.error = f"detector {name!r}: {type(exc).__name__}: {exc}"
-            session.health.record_error(outcome.tick, f"detector {name!r} raised: {exc}")
+            session.health.record_error(
+                outcome.tick, f"detector {name!r} raised: {exc}", delivered_at=self._now
+            )
             if session.health.blocked:
                 self._quarantine_session(session)
 
@@ -480,8 +687,17 @@ class StreamScheduler:
         sample: np.ndarray,
         ingress_tag: Optional[str] = None,
     ) -> Dict[str, SessionTick]:
-        """One-session tick minus the batching scaffolding (same arithmetic)."""
-        lane = self._lanes[session._lane_key]
+        """One-session tick minus the batching scaffolding (same arithmetic).
+
+        Emits the same per-session metric series as the batched path (a
+        one-session lane step is a batch of one), so a session's metrics are
+        identical whichever path its tick happens to take — the invariant
+        the sharded metric-parity gate relies on.
+        """
+        obs = self.obs
+        lane_key = session._lane_key
+        lane = self._lanes[lane_key]
+        lane_started = perf_counter() if obs is not None else 0.0
         try:
             prediction = lane.predictor.step_one(sample, lane.state, session._slot)
         except Exception as exc:
@@ -505,14 +721,65 @@ class StreamScheduler:
             prediction=prediction,
             ingress=ingress_tag,
         )
+        if obs is not None:
+            obs.registry.inc("serving.ticks_served_total", lane=lane_key)
+            obs.registry.observe("serving.lane_step_batch", 1, lane=lane_key)
+            obs.emit_span(
+                "lane_step",
+                lane_started,
+                tick=self._now,
+                lane=lane_key,
+                sessions=(session.session_id,),
+                batch=1,
+            )
         self._health_after_step(session, outcome)
         for name, adapter in session.detectors.items():
             # With a single stream there is nothing to group: the adapter's
             # own single-stream update IS the batched path's arithmetic.
+            query_started = perf_counter() if obs is not None else 0.0
             try:
-                outcome.verdicts[name] = adapter.update(sample)
+                verdict = adapter.update(sample)
             except Exception as exc:
+                if obs is not None:
+                    # The batched path counts a query per formed group; a
+                    # failing update had formed its one-session group.
+                    obs.registry.inc(
+                        "serving.detector_queries_total",
+                        lane=lane_key,
+                        incremental="yes" if adapter.incremental else "no",
+                    )
+                    obs.registry.observe("serving.detector_batch", 1, lane=lane_key)
                 self._detector_failure(
                     [(outcome, name, adapter, session.ticks - 1, session)], exc
+                )
+                continue
+            outcome.verdicts[name] = verdict
+            if obs is not None:
+                if verdict.warming:
+                    obs.registry.inc("serving.detector_warming_total", detector=name)
+                    continue
+                obs.registry.inc(
+                    "serving.detector_queries_total",
+                    lane=lane_key,
+                    incremental="yes" if adapter.incremental else "no",
+                )
+                obs.registry.observe("serving.detector_batch", 1, lane=lane_key)
+                obs.registry.inc(
+                    "serving.detector_verdicts_total",
+                    detector=name,
+                    flagged="yes" if verdict.flagged else "no",
+                )
+                if verdict.degraded:
+                    obs.registry.inc("serving.watchdog_degraded_total", detector=name)
+                if adapter.incremental:
+                    self._observe_inversion(name, adapter)
+                obs.emit_span(
+                    "detector_batch",
+                    query_started,
+                    tick=self._now,
+                    lane=lane_key,
+                    sessions=(session.session_id,),
+                    batch=1,
+                    incremental=adapter.incremental,
                 )
         return {session.session_id: outcome}

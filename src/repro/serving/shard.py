@@ -65,6 +65,7 @@ single-process.
 from __future__ import annotations
 
 import io
+import logging
 import multiprocessing
 import pickle
 import time
@@ -73,6 +74,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.glucose.predictor import GlucosePredictor
+from repro.obs import MetricsRegistry, Observer
 from repro.serving.health import HealthConfig, IngressConfig, validate_checkpoint
 from repro.serving.scheduler import StreamScheduler
 from repro.serving.session import SessionTick
@@ -80,6 +82,8 @@ from repro.utils.rng import RandomState, hash_string
 from repro.utils.timeseries import SampleRing
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+logger = logging.getLogger(__name__)
 
 
 class ShardWorkerError(RuntimeError):
@@ -142,11 +146,19 @@ def _rederive_worker_rng(obj, shard_index: int) -> None:
         obj._rng = rng.derive(f"shard:{shard_index}")
 
 
-def _worker_main(shard_index: int, conn, scheduler_kwargs: dict) -> None:
-    """Run one shard: a private StreamScheduler driven by pipe commands."""
+def _worker_main(shard_index: int, conn, scheduler_kwargs: dict, obs_enabled: bool = False) -> None:
+    """Run one shard: a private StreamScheduler driven by pipe commands.
+
+    With ``obs_enabled`` the worker owns its own :class:`Observer`; every
+    tick reply ships the cumulative series snapshot plus the spans/events
+    recorded since the previous reply (the parent stamps them with this
+    shard's index).  Obs shipping rides the existing replies — no extra
+    round-trips on the hot path.
+    """
     import traceback as traceback_module
 
-    scheduler = StreamScheduler(**scheduler_kwargs)
+    observer = Observer() if obs_enabled else None
+    scheduler = StreamScheduler(obs=observer, **scheduler_kwargs)
     models: Dict[str, GlucosePredictor] = {}
     detectors: Dict[int, object] = {}
 
@@ -190,9 +202,9 @@ def _worker_main(shard_index: int, conn, scheduler_kwargs: dict) -> None:
                 )
                 conn.send(("ok", None))
             elif command == "tick":
-                _, samples = message
+                _, samples, now = message
                 start = time.perf_counter()
-                results = scheduler.tick(samples)
+                results = scheduler.tick(samples, now=now)
                 elapsed = time.perf_counter() - start
                 blocked = {
                     session_id
@@ -200,7 +212,19 @@ def _worker_main(shard_index: int, conn, scheduler_kwargs: dict) -> None:
                     if (session := scheduler.session(session_id)).health is not None
                     and session.health.blocked
                 }
-                conn.send(("ok", {"ticks": results, "blocked": blocked, "elapsed": elapsed}))
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "ticks": results,
+                            "blocked": blocked,
+                            "elapsed": elapsed,
+                            "obs": observer.drain() if observer is not None else None,
+                        },
+                    )
+                )
+            elif command == "obs":
+                conn.send(("ok", observer.drain() if observer is not None else None))
             elif command == "close":
                 _, session_id = message
                 session = scheduler.session(session_id)
@@ -322,7 +346,7 @@ class ShardSessionHandle:
 class _Shard:
     """One worker process plus its parent-side bookkeeping."""
 
-    __slots__ = ("index", "process", "conn", "alive", "shipped_models", "shipped_detectors", "last_tick_latency")
+    __slots__ = ("index", "process", "conn", "alive", "shipped_models", "shipped_detectors", "last_tick_latency", "obs_series")
 
     def __init__(self, index: int, process, conn):
         self.index = index
@@ -332,6 +356,9 @@ class _Shard:
         self.shipped_models: set = set()
         self.shipped_detectors: set = set()
         self.last_tick_latency: Optional[float] = None
+        # Latest cumulative series snapshot shipped by the worker (each tick
+        # reply replaces it; absorbed into the parent registry exactly once).
+        self.obs_series: Optional[dict] = None
 
 
 class ShardedScheduler:
@@ -350,6 +377,15 @@ class ShardedScheduler:
         ``multiprocessing`` start method; default prefers ``fork`` (cheap)
         and falls back to ``spawn``.  Payloads cross the pipe pickled under
         every method, so the serialization contract is always exercised.
+    obs:
+        Optional :class:`~repro.obs.Observer`.  When set, every worker owns
+        its own Observer; tick replies ship each worker's cumulative series
+        snapshot plus its new spans/events (stamped with the shard index on
+        ingest).  Because every non-timing series is a per-session/per-lane
+        event count and lanes are atomic placement units, the merged fabric
+        snapshot (:meth:`obs_snapshot`) equals the single-process snapshot
+        bitwise for any shard count — the metric half of the parity gate.
+        ``None`` (the default) is bitwise inert.
 
     Notes
     -----
@@ -369,6 +405,7 @@ class ShardedScheduler:
         ingress: Optional[IngressConfig] = None,
         validate_checkpoints: bool = False,
         start_method: Optional[str] = None,
+        obs: Optional[Observer] = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -378,6 +415,8 @@ class ShardedScheduler:
         self.n_shards = int(n_shards)
         self.health = health
         self.start_method = start_method
+        self.obs = obs
+        self._obs_absorbed = False
         scheduler_kwargs = dict(
             use_single_fast_path=use_single_fast_path,
             health=health,
@@ -390,7 +429,7 @@ class ShardedScheduler:
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
                 target=_worker_main,
-                args=(index, child_conn, scheduler_kwargs),
+                args=(index, child_conn, scheduler_kwargs, obs is not None),
                 daemon=True,
                 name=f"repro-shard-{index}",
             )
@@ -421,10 +460,17 @@ class ShardedScheduler:
             pass
 
     def shutdown(self) -> None:
-        """Stop every worker process (idempotent)."""
+        """Stop every worker process (idempotent).
+
+        With obs enabled, each live worker's final telemetry is drained
+        first and every worker's latest cumulative snapshot is folded into
+        the parent registry exactly once, so post-shutdown
+        ``obs.registry`` holds the whole-fabric series.
+        """
         if self._closed:
             return
         self._closed = True
+        self._absorb_obs(refresh=True)
         for shard in self._shards:
             if shard.alive:
                 try:
@@ -446,10 +492,68 @@ class ShardedScheduler:
     def _mark_dead(self, shard: _Shard) -> None:
         if shard.alive:
             shard.alive = False
+            logger.warning(
+                "shard %d worker died; its sessions degrade to dropped ticks",
+                shard.index,
+            )
+            if self.obs is not None:
+                self.obs.registry.inc("serving.worker_deaths_total", shard=shard.index)
+                self.obs.event("worker_death", shard_index=shard.index)
             try:
                 shard.conn.close()
             except OSError:
                 pass
+
+    # ----------------------------------------------------------------- obs flow
+    def _refresh_shard_obs(self, shard: _Shard) -> None:
+        """Pull one live worker's latest telemetry (snapshot + new traces)."""
+        if self.obs is None or not shard.alive:
+            return
+        try:
+            payload = self._request(shard, ("obs",))
+        except (ShardDeadError, ShardWorkerError):
+            return
+        self._ingest_shard_obs(shard, payload)
+
+    def _ingest_shard_obs(self, shard: _Shard, payload: Optional[dict]) -> None:
+        """Store a worker's cumulative snapshot; append its drained traces."""
+        if self.obs is None or payload is None:
+            return
+        shard.obs_series = payload["series"]
+        self.obs.ingest_trace(payload["spans"], payload["events"], shard=shard.index)
+
+    def _absorb_obs(self, refresh: bool) -> None:
+        """Fold every worker's latest snapshot into the parent registry, once."""
+        if self.obs is None or self._obs_absorbed:
+            return
+        if refresh:
+            for shard in self._shards:
+                self._refresh_shard_obs(shard)
+        self._obs_absorbed = True
+        for shard in self._shards:
+            if shard.obs_series is not None:
+                self.obs.registry.absorb(shard.obs_series)
+
+    def obs_snapshot(self) -> Optional[Dict[str, dict]]:
+        """Fabric-wide deterministic series snapshot (parent + all shards).
+
+        Mid-run, live workers are polled for their freshest telemetry and
+        the merge happens on copies (worker snapshots are cumulative, so
+        absorbing them into the parent registry before shutdown would
+        double-count on the next call).  After :meth:`shutdown` the parent
+        registry already holds the folded total.
+        """
+        if self.obs is None:
+            return None
+        if self._obs_absorbed:
+            return self.obs.registry.snapshot()
+        for shard in self._shards:
+            self._refresh_shard_obs(shard)
+        snapshots = [self.obs.registry.snapshot()]
+        snapshots.extend(
+            shard.obs_series for shard in self._shards if shard.obs_series is not None
+        )
+        return MetricsRegistry.merge(snapshots)
 
     def _request(self, shard: _Shard, message: tuple):
         """One synchronous command round-trip with a worker."""
@@ -612,6 +716,10 @@ class ShardedScheduler:
         }
 
     def _dead_shard_tick(self, handle: ShardSessionHandle, sample) -> SessionTick:
+        if self.obs is not None:
+            self.obs.registry.inc(
+                "serving.ticks_dropped_total", lane=handle._lane_key, reason="dead_shard"
+            )
         outcome = SessionTick(
             session_id=handle.session_id,
             tick=handle.ticks,
@@ -623,14 +731,18 @@ class ShardedScheduler:
         handle.ticks += 1
         return outcome
 
-    def tick(self, samples: Mapping[str, np.ndarray]) -> Dict[str, SessionTick]:
+    def tick(
+        self, samples: Mapping[str, np.ndarray], now: Optional[int] = None
+    ) -> Dict[str, SessionTick]:
         """Deliver one tick fleet-wide; see :meth:`StreamScheduler.tick`.
 
         Samples are routed to the owning shards, the workers step their
         schedulers concurrently, and the merged outcomes come back **sorted
         by session id** — deterministic and independent of shard layout.
         Sessions on a dead shard receive ``dropped`` outcomes naming it;
-        everyone else is served normally.
+        everyone else is served normally.  ``now`` (the caller's device-clock
+        slot) is forwarded verbatim to every worker; like the single-process
+        scheduler it is purely observational.
         """
         per_shard: Dict[int, Dict[str, np.ndarray]] = {}
         merged: Dict[str, SessionTick] = {}
@@ -647,7 +759,7 @@ class ShardedScheduler:
         for shard_index, shard_samples in per_shard.items():
             shard = self._shards[shard_index]
             try:
-                shard.conn.send(("tick", shard_samples))
+                shard.conn.send(("tick", shard_samples, now))
                 engaged.append((shard, shard_samples))
             except (BrokenPipeError, OSError):
                 self._mark_dead(shard)
@@ -680,6 +792,7 @@ class ShardedScheduler:
                 )
                 continue
             shard.last_tick_latency = payload["elapsed"]
+            self._ingest_shard_obs(shard, payload.get("obs"))
             blocked = payload["blocked"]
             for session_id, outcome in payload["ticks"].items():
                 self._sessions[session_id]._absorb(outcome, session_id in blocked)
