@@ -20,6 +20,11 @@ robustness contract the fault-injection layer promises:
 * **Attack detection preserved.**  Running the same attack campaign on top
   of benign faults must not drop episode detection below the fault-free
   campaign's rate minus :data:`DETECTION_DROP_TOLERANCE`.
+* **Family false alarms bounded** (full runs only).  The LSTM-VAE + HMM
+  voting ensemble's benign false-alarm rate under benign faults plus the
+  attack campaign may exceed its fault-free rate by at most
+  :data:`FP_INFLATION_BOUND` — the new detector family must not trade its
+  verdict-parity guarantees for fault-confused alarms.
 
 Writes ``BENCH_chaos.json`` next to the repo root.  Usage::
 
@@ -67,6 +72,9 @@ ZOO_KWARGS = dict(
 MADGAN_KWARGS = dict(
     epochs=5, hidden_size=12, inversion_steps=40, warm_inversion_steps=10, seed=0
 )
+#: The LSTM-VAE + HMM voting ensemble (``--smoke`` skips it, like MAD-GAN).
+VAE_KWARGS = dict(epochs=5, hidden_size=12, latent_dim=3, batch_size=32, seed=0)
+HMM_KWARGS = dict(n_states=4, n_iter=5, seed=0)
 
 #: Samples each device delivers per scenario (``--smoke`` uses the smaller).
 FULL_TICKS = 96
@@ -123,8 +131,13 @@ def build_fixture():
     return cohort, zoo
 
 
-def build_detectors(zoo, cohort, with_madgan: bool = False):
-    """Fitted streaming monitors: kNN on samples, optionally MAD-GAN on windows."""
+def build_detectors(zoo, cohort, with_madgan: bool = False, with_family: bool = False):
+    """Fitted streaming monitors: kNN on samples, optional window brains.
+
+    ``with_madgan`` adds the MAD-GAN monitor; ``with_family`` adds a
+    2-of-2 voting ensemble of the LSTM-VAE and Gaussian-HMM detectors
+    (key ``"vae_hmm"``), the ISSUE-9 family scenario's monitor.
+    """
     train_windows, _, _ = zoo.dataset.from_cohort(cohort, split="train")
     detectors = {
         "knn": (KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :]), "sample")
@@ -135,21 +148,38 @@ def build_detectors(zoo, cohort, with_madgan: bool = False):
         madgan = MADGANDetector(**MADGAN_KWARGS)
         madgan.fit(train_windows[::2])
         detectors["madgan"] = (madgan, "window")
+    if with_family:
+        from repro.detectors import (
+            GaussianHMMDetector,
+            LSTMVAEDetector,
+            VotingEnsembleDetector,
+        )
+
+        benign = train_windows[::2]
+        ensemble = VotingEnsembleDetector(
+            [
+                LSTMVAEDetector(**VAE_KWARGS).fit(benign),
+                GaussianHMMDetector(**HMM_KWARGS).fit(benign),
+            ],
+            min_votes=2,
+        )
+        detectors["vae_hmm"] = (ensemble, "window")
     return detectors
 
 
-def build_scenarios(with_madgan: bool) -> list:
+def build_scenarios(with_madgan: bool, with_family: bool = False) -> list:
     """The declarative scenario suite.
 
     Each entry is a plain dict; ``run_scenario`` turns it into a configured
     :class:`StreamReplayer`.  Keys: ``faults`` (SensorFaultConfig or None),
     ``attack`` (bool), ``clocks``/``churn`` (configs or None), ``health``
     (bool — per-session state machine + lane isolation), ``ingress``
-    (IngressPolicy or None), ``watchdog`` (int or None), ``madgan`` (bool).
+    (IngressPolicy or None), ``watchdog`` (int or None), ``madgan``/
+    ``family`` (bool — which window monitors join the kNN baseline).
     """
     base = dict(
         faults=None, attack=False, clocks=None, churn=None,
-        health=False, ingress=None, watchdog=None, madgan=False,
+        health=False, ingress=None, watchdog=None, madgan=False, family=False,
     )
     scenarios = [
         dict(base, name="baseline",
@@ -175,6 +205,18 @@ def build_scenarios(with_madgan: bool) -> list:
              ingress=IngressPolicy.CLAMP, watchdog=3, madgan=with_madgan,
              description="everything at once: faults + attack + churn + device clocks"),
     ]
+    if with_family:
+        scenarios += [
+            dict(base, name="family_baseline", family=True,
+                 description="LSTM-VAE + HMM voting ensemble, fault-free "
+                             "(reference false-alarm rate)"),
+            dict(base, name="family_faults_attack", faults=BENIGN_FAULTS,
+                 attack=True, health=True, ingress=IngressPolicy.CLAMP,
+                 family=True,
+                 description="LSTM-VAE + HMM voting ensemble under benign "
+                             "faults plus the URET campaign "
+                             "(family FP-inflation gate)"),
+        ]
     return scenarios
 
 
@@ -262,13 +304,20 @@ def summarize(report, spec: dict) -> dict:
     return entry
 
 
-def run_suite(n_ticks: int, with_madgan: bool, verbose: bool = True, fixture=None):
+def run_suite(
+    n_ticks: int,
+    with_madgan: bool,
+    verbose: bool = True,
+    fixture=None,
+    with_family: bool = False,
+):
     """Run every scenario and evaluate the gates.
 
     ``fixture`` is an optional prebuilt ``(cohort, zoo)`` pair (the tier-1
     smoke passes its own tiny fixture); the benchmark fixture is built when
-    omitted.  Returns ``(report_dict, ok)``; never raises for an in-scenario
-    failure (that is itself gate #1).
+    omitted.  ``with_family`` adds the LSTM-VAE + HMM ensemble scenarios and
+    their FP-inflation gate.  Returns ``(report_dict, ok)``; never raises
+    for an in-scenario failure (that is itself gate #1).
     """
     def say(message: str) -> None:
         if verbose:
@@ -280,17 +329,23 @@ def run_suite(n_ticks: int, with_madgan: bool, verbose: bool = True, fixture=Non
     else:
         cohort, zoo = fixture
     say("fitting streaming detectors...")
-    detectors = build_detectors(zoo, cohort, with_madgan=with_madgan)
+    detectors = build_detectors(
+        zoo, cohort, with_madgan=with_madgan, with_family=with_family
+    )
     knn_only = {"knn": detectors["knn"]}
 
-    scenarios = build_scenarios(with_madgan)
+    scenarios = build_scenarios(with_madgan, with_family)
     results = {}
     fingerprints = {}
     failures = {}
     for spec in scenarios:
         name = spec["name"]
         say(f"scenario {name!r}: {spec['description']}...")
-        scenario_detectors = detectors if spec["madgan"] else knn_only
+        scenario_detectors = dict(knn_only)
+        if spec["madgan"]:
+            scenario_detectors["madgan"] = detectors["madgan"]
+        if spec["family"]:
+            scenario_detectors["vae_hmm"] = detectors["vae_hmm"]
         try:
             report = run_scenario(zoo, cohort, scenario_detectors, spec, n_ticks)
         except Exception as error:  # gate #1: nothing may escape the fabric
@@ -352,6 +407,27 @@ def run_suite(n_ticks: int, with_madgan: bool, verbose: bool = True, fixture=Non
             "passed": False, "error": "scenario missing",
         }
 
+    if with_family:
+        if "family_baseline" in results and "family_faults_attack" in results:
+            clean_fa = results["family_baseline"]["detectors"]["vae_hmm"][
+                "false_alarm_rate_benign"
+            ]
+            chaos_fa = results["family_faults_attack"]["detectors"]["vae_hmm"][
+                "false_alarm_rate_benign"
+            ]
+            inflation = chaos_fa - clean_fa
+            gates["family_fp_inflation_bounded"] = {
+                "passed": bool(inflation <= FP_INFLATION_BOUND),
+                "baseline_false_alarm_rate": clean_fa,
+                "faulted_false_alarm_rate": chaos_fa,
+                "inflation": inflation,
+                "bound": FP_INFLATION_BOUND,
+            }
+        else:
+            gates["family_fp_inflation_bounded"] = {
+                "passed": False, "error": "scenario missing",
+            }
+
     ok = all(gate["passed"] for gate in gates.values())
     report_dict = {
         "benchmark": "chaos_replay",
@@ -365,6 +441,7 @@ def run_suite(n_ticks: int, with_madgan: bool, verbose: bool = True, fixture=Non
             "ticks_per_device": n_ticks,
             "attack": {"start": ATTACK_START, "duration": ATTACK_DURATION},
             "with_madgan": with_madgan,
+            "with_family": with_family,
         },
         "environment": {
             "python": platform.python_version(),
@@ -391,7 +468,9 @@ def main() -> int:
     args = parser.parse_args()
 
     n_ticks = SMOKE_TICKS if args.smoke else FULL_TICKS
-    report, ok = run_suite(n_ticks, with_madgan=not args.smoke)
+    report, ok = run_suite(
+        n_ticks, with_madgan=not args.smoke, with_family=not args.smoke
+    )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     print()

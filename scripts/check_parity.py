@@ -14,7 +14,10 @@ delivered windows and detector verdicts identical to the offline
 ``predict``.  :func:`run_chaos_smoke` additionally drives the chaos-replay
 scenario suite (benign sensor faults, malformed-sample ingress, attack
 campaigns, churn + device clocks) on the same tiny fixture and asserts every
-robustness gate.  This is the cheap tripwire between "every PR runs the full
+robustness gate, and :func:`run_detector_family_smoke` admits the LSTM-VAE +
+HMM window brains into the fabric: streaming verdicts bitwise equal to the
+offline ``predict`` and sharded replays bitwise equal to single-process at
+1/2/4 shards.  This is the cheap tripwire between "every PR runs the full
 benchmark" and "parity silently regresses": it is wired into the tier-1
 suite (``tests/test_explorer_parity.py`` imports :func:`run_checks`,
 ``tests/test_serving.py`` imports :func:`run_serving_smoke`,
@@ -42,6 +45,14 @@ GRADIENT_TOLERANCE = 1e-8
 #: Per-epoch losses of a fixed-seed fused fit vs the graph fit; individual
 #: steps agree near machine precision, the budget covers benign accumulation.
 LOSS_CURVE_TOLERANCE = 1e-6
+#: LSTM-VAE streaming scores vs offline ``scores``: the offline path batches
+#: N windows per BLAS call while streaming scores one window per tick, and
+#: BLAS rounds differently per batch shape, so scores agree to ~1e-15 but not
+#: bitwise.  Verdicts ARE bitwise (the threshold comparison absorbs the
+#: rounding), and so are calls with identical batch composition — which is
+#: why the sharded fabric still reproduces VAE scores bit for bit.  The HMM
+#: uses only broadcast-reduce arithmetic and is bitwise everywhere.
+VAE_STREAM_SCORE_TOLERANCE = 1e-12
 
 EXPLORER_FACTORIES = {
     "greedy": lambda seed: GreedyExplorer(max_depth=2),
@@ -517,6 +528,121 @@ def run_shard_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str
     }
 
 
+def run_detector_family_smoke(
+    zoo: GlucoseModelZoo, cohort, n_ticks: int = 30
+) -> Dict[str, dict]:
+    """LSTM-VAE + HMM detector-family parity gate (tier-1 smoke).
+
+    Fits both new window brains on the fixture's training windows with a
+    tiny budget, then asserts the two contracts that admit a detector into
+    the serving fabric:
+
+    * **Streaming == offline** — driving one test trace sample-by-sample
+      through :class:`~repro.detectors.StreamingDetector` produces verdicts
+      bitwise identical to the offline ``predict`` on the same sliding
+      windows.  HMM scores are bitwise too (broadcast-reduce arithmetic is
+      batch-shape independent); LSTM-VAE scores are held to
+      :data:`VAE_STREAM_SCORE_TOLERANCE` (BLAS rounds per batch shape).
+    * **Sharded == single-process** — a chaos-mix replay (sensor faults,
+      device clocks, session churn) over a multi-lane zoo is bitwise
+      identical on :class:`~repro.serving.ShardedScheduler` at 1, 2, and
+      4 shards.  Both brains are RNG-free at inference, so — unlike
+      MAD-GAN — they join the bitwise gate directly.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    from repro.detectors import (
+        GaussianHMMDetector,
+        LSTMVAEDetector,
+        StreamingDetector,
+    )
+    from repro.serving import (
+        DeviceClockConfig,
+        SensorFaultConfig,
+        SessionChurnConfig,
+        ShardedScheduler,
+        StreamReplayer,
+        StreamScheduler,
+    )
+
+    records = list(cohort)
+    train_windows, _, _ = zoo.dataset.from_cohort(cohort, split="train")
+    benign = train_windows[::4]
+    family = {
+        "lstm_vae": LSTMVAEDetector(
+            epochs=1, hidden_size=8, batch_size=16, seed=0
+        ).fit(benign),
+        "hmm": GaussianHMMDetector(n_states=3, n_iter=3, seed=0).fit(benign),
+    }
+
+    # ---- streaming verdicts == offline predict on one live trace
+    record = records[0]
+    features = record.features("test")[:n_ticks]
+    history = family["lstm_vae"].sequence_length
+    windows = np.stack(
+        [features[start : start + history] for start in range(len(features) - history + 1)]
+    )
+    report: Dict[str, dict] = {}
+    for name, detector in family.items():
+        offline_flags = [int(flag) for flag in detector.predict(windows)]
+        offline_scores = detector.scores(windows)
+        adapter = StreamingDetector(
+            detector, unit="window", history=history, include_scores=True
+        )
+        assert adapter.incremental, f"{name}: incremental streaming not auto-enabled"
+        stream_flags, stream_scores = [], []
+        for sample in features:
+            verdict = adapter.update(sample)
+            if not verdict.warming:
+                stream_flags.append(int(verdict.flagged))
+                stream_scores.append(verdict.score)
+        assert stream_flags == offline_flags, (
+            f"{name}: streaming verdicts diverged from offline predict"
+        )
+        score_gap = float(np.abs(np.asarray(stream_scores) - offline_scores).max())
+        tolerance = 0.0 if name == "hmm" else VAE_STREAM_SCORE_TOLERANCE
+        assert score_gap <= tolerance, (
+            f"{name}: streaming scores diverged from offline "
+            f"({score_gap:.3e} > {tolerance:g})"
+        )
+        report[name] = {"stream_score_gap": score_gap, "n_windows": len(windows)}
+
+    # ---- sharded == single-process bitwise under the chaos mix
+    if len({zoo.model_for(record.label).state_hash() for record in records}) > 1:
+        lane_zoo = zoo
+    else:
+        lane_zoo = GlucoseModelZoo(
+            predictor_kwargs=dict(epochs=1, hidden_size=8),
+            train_personalized=True,
+            seed=3,
+        )
+        lane_zoo.fit(cohort)
+
+    def replay_with(scheduler):
+        return StreamReplayer(
+            lane_zoo,
+            detectors={name: (detector, "window") for name, detector in family.items()},
+            scheduler=scheduler,
+            clocks=DeviceClockConfig(drift=0.05, jitter=0.1, dropout=0.05, seed=19),
+            churn=SessionChurnConfig(join_stagger=1, disconnect_every=15),
+            faults=SensorFaultConfig(bias_rate=0.05, spike_rate=0.08, seed=11),
+        ).replay(cohort, split="test", max_ticks=n_ticks)
+
+    baseline = _replay_fingerprint(replay_with(StreamScheduler()))
+    for n_shards in (1, 2, 4):
+        fabric = ShardedScheduler(n_shards=n_shards)
+        try:
+            fingerprint = _replay_fingerprint(replay_with(fabric))
+        finally:
+            fabric.shutdown()
+        assert fingerprint == baseline, (
+            f"family sharded replay diverged from single-process at "
+            f"n_shards={n_shards}"
+        )
+    report["shard_counts"] = (1, 2, 4)
+    return report
+
+
 def run_obs_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str, float]:
     """Telemetry-spine gates (tier-1 smoke): inertness + merge determinism.
 
@@ -686,6 +812,17 @@ def main() -> int:
         f"  sharded == single-process bitwise across shard counts "
         f"{shard['shard_counts']} ({shard['n_sessions']} session segments, "
         f"{shard['campaign_records']} campaign records at n_workers=2)"
+    )
+    print("running detector-family smoke (LSTM-VAE + HMM streaming/shard parity)...")
+    try:
+        family = run_detector_family_smoke(zoo, cohort)
+    except AssertionError as error:
+        print(f"DETECTOR FAMILY PARITY VIOLATION: {error}")
+        return 1
+    print(
+        f"  streaming == offline (VAE score gap "
+        f"{family['lstm_vae']['stream_score_gap']:.3e}, HMM bitwise); "
+        f"sharded bitwise across shard counts {family['shard_counts']}"
     )
     print("running obs smoke (telemetry inertness + metric merge determinism)...")
     try:

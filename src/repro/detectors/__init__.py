@@ -1,16 +1,19 @@
-"""Static anomaly detectors (kNN, OneClassSVM, MAD-GAN, ensemble) and the
-per-tick streaming adapter used by :mod:`repro.serving`."""
+"""Static anomaly detectors (kNN, OneClassSVM, MAD-GAN, LSTM-VAE, HMM,
+ensemble) and the per-tick streaming adapter used by :mod:`repro.serving`."""
 
 from repro.detectors.base import AnomalyDetector, ScaledDetectorMixin, ThresholdCalibrator
 from repro.detectors.knn import KNNClassifierDetector, KNNDistanceDetector, minkowski_distances
 from repro.detectors.ocsvm import OneClassSVMDetector, kernel_matrix
 from repro.detectors.madgan import (
+    ColdBatchPlan,
     InversionState,
     MADGANDetector,
     MADGANTrainingHistory,
     SequenceDiscriminator,
     SequenceGenerator,
 )
+from repro.detectors.lstm_vae import LSTMVAEDetector, VAEStreamState
+from repro.detectors.hmm import GaussianHMMDetector, HMMStreamState
 from repro.detectors.ensemble import VotingEnsembleDetector
 from repro.detectors.streaming import StreamingDetector, StreamVerdict
 
@@ -23,11 +26,16 @@ __all__ = [
     "minkowski_distances",
     "OneClassSVMDetector",
     "kernel_matrix",
+    "ColdBatchPlan",
     "InversionState",
     "MADGANDetector",
     "MADGANTrainingHistory",
     "SequenceGenerator",
     "SequenceDiscriminator",
+    "LSTMVAEDetector",
+    "VAEStreamState",
+    "GaussianHMMDetector",
+    "HMMStreamState",
     "VotingEnsembleDetector",
     "StreamingDetector",
     "StreamVerdict",

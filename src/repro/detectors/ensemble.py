@@ -1,9 +1,12 @@
 """A simple majority-vote ensemble over anomaly detectors.
 
 Not part of the paper's evaluation, but a natural extension: the paper's
-framework trains *any* static detector selectively, and combining the three
-detectors it studies is the obvious next step.  The ensemble is exercised by
-the ablation benchmarks.
+framework trains *any* static detector selectively, and combining detectors
+it studies is the obvious next step.  Any :class:`AnomalyDetector` can join —
+the ablation benchmarks vote the paper's three (kNN, OneClassSVM, MAD-GAN),
+and the chaos suite adds an LSTM-VAE + HMM window ensemble whose members fail
+in genuinely different ways (reconstruction likelihood vs state-sequence
+likelihood; see ``docs/detectors.md``).
 """
 
 from __future__ import annotations

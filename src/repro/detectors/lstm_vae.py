@@ -1,0 +1,532 @@
+"""LSTM-VAE anomaly detector scored by reconstruction negative log-likelihood.
+
+The architecture follows the hrl_anomaly_detection LSTM-VAE exemplar: an
+encoder LSTM summarizes a window into mean/log-variance heads, a latent is
+reparameterized (``z = mu + exp(0.5 · logvar) · eps``), and a decoder LSTM
+unrolls the latent back into a per-timestep Gaussian (mean + log-variance per
+feature).  Training maximizes the ELBO through the fused engine — the
+:func:`repro.nn.fused.fused_vae_loss_head` loss head seeds a hand-written
+backward chain through the reparameterization trick (see
+:meth:`_VAECore.fused_backward_train`) — with a graph twin pinned within 1e-8
+(``tests/test_detectors_vae_hmm.py``).
+
+Scoring is **deterministic**: the latent is the encoder mean (no sampling),
+so repeated calls are bitwise identical and — unlike MAD-GAN, whose inversion
+draws per-call latents — the LSTM-VAE joins the serving fabric's bitwise
+parity gates (``check_parity.run_detector_family_smoke``): streaming
+*verdicts* are bitwise equal to offline :meth:`LSTMVAEDetector.predict`
+(streaming scores agree within 1e-12 — BLAS rounds per batch shape, and the
+per-tick call batches fewer windows than the offline one), and sharded
+layouts are bitwise equal to single-process serving at every shard count
+(identical per-lane batches, identical arithmetic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.detectors.base import AnomalyDetector, ThresholdCalibrator
+from repro.nn import Adam, BatchIterator, Dense, FusedTrainer, LSTM, Module, Tensor
+from repro.nn.fused import LOG_2PI, fused_vae_loss_head
+from repro.nn.tensor import as_tensor, stack
+from repro.utils.rng import as_random_state
+from repro.utils.timeseries import StandardScaler
+from repro.utils.validation import check_array, check_fitted
+
+
+class _VAECore(Module):
+    """Encoder LSTM → mu/logvar heads → decoder LSTM → Gaussian output heads.
+
+    The decoder input is the latent repeated across every timestep (the
+    sequence-to-sequence form of the hrl exemplar), so the latent gradient is
+    the sum of the per-timestep decoder input gradients — exactly what
+    :meth:`fused_backward_train` accumulates.
+    """
+
+    def __init__(self, sequence_length: int, n_features: int, latent_dim: int, hidden_size: int, seed=None):
+        super().__init__()
+        rng = as_random_state(seed)
+        (
+            encoder_seed,
+            mu_seed,
+            logvar_seed,
+            decoder_seed,
+            out_mean_seed,
+            out_logvar_seed,
+        ) = rng.spawn(6)
+        self.sequence_length = int(sequence_length)
+        self.n_features = int(n_features)
+        self.latent_dim = int(latent_dim)
+        self.hidden_size = int(hidden_size)
+        self.encoder = LSTM(n_features, hidden_size, return_sequences=False, seed=encoder_seed)
+        self.mu_head = Dense(hidden_size, latent_dim, seed=mu_seed)
+        self.logvar_head = Dense(hidden_size, latent_dim, seed=logvar_seed)
+        self.decoder = LSTM(latent_dim, hidden_size, return_sequences=True, seed=decoder_seed)
+        self.out_mean = Dense(hidden_size, n_features, seed=out_mean_seed)
+        self.out_logvar = Dense(hidden_size, n_features, seed=out_logvar_seed)
+        #: Noise draw for the next training forward, ``(batch, latent_dim)``.
+        #: Set by the trainer before each step; both the fused and the graph
+        #: twin consume the identical array, which is what makes their
+        #: fixed-seed loss curves match step-for-step.
+        self._pending_eps: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ graph
+    def forward(self, inputs, eps: Optional[np.ndarray] = None):
+        """Autodiff twin of :meth:`fused_forward_train` (training reference)."""
+        inputs = as_tensor(inputs)
+        batch, timesteps, _ = inputs.shape
+        if eps is None:
+            eps = self._pending_eps
+        if eps is None:
+            raise ValueError("the VAE forward needs a reparameterization draw (eps)")
+        encoded = self.encoder(inputs)
+        mu = self.mu_head(encoded)
+        logvar = self.logvar_head(encoded)
+        sigma = (logvar * 0.5).exp()
+        z = mu + sigma * np.asarray(eps, dtype=np.float64)
+        # Repeating the latent across timesteps via stack makes its gradient
+        # the sum over timesteps — mirrored by the fused path's axis-1 sum.
+        z_sequence = stack([z] * timesteps, axis=1)
+        decoded = self.decoder(z_sequence)
+        flat = decoded.reshape(batch * timesteps, self.hidden_size)
+        recon_mean = self.out_mean(flat).reshape(batch, timesteps, self.n_features)
+        recon_logvar = self.out_logvar(flat).reshape(batch, timesteps, self.n_features)
+        return recon_mean, recon_logvar, mu, logvar
+
+    # ------------------------------------------------------------------ fused
+    def fused_forward_train(self, inputs: np.ndarray):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"VAE expects inputs of shape (batch, time, features), got {inputs.shape}"
+            )
+        batch, timesteps, _ = inputs.shape
+        eps = self._pending_eps
+        if eps is None:
+            raise ValueError("the VAE forward needs a reparameterization draw (eps)")
+        eps = np.asarray(eps, dtype=np.float64)
+        if eps.shape != (batch, self.latent_dim):
+            raise ValueError(
+                f"eps must have shape ({batch}, {self.latent_dim}), got {eps.shape}"
+            )
+        encoded, encoder_cache = self.encoder.fused_forward_train(inputs)
+        mu, mu_cache = self.mu_head.fused_forward_train(encoded)
+        logvar, logvar_cache = self.logvar_head.fused_forward_train(encoded)
+        sigma = np.exp(0.5 * logvar)
+        z = mu + sigma * eps
+        z_sequence = np.repeat(z[:, np.newaxis, :], timesteps, axis=1)
+        decoded, decoder_cache = self.decoder.fused_forward_train(z_sequence)
+        flat = decoded.reshape(batch * timesteps, self.hidden_size)
+        recon_mean_flat, mean_cache = self.out_mean.fused_forward_train(flat)
+        recon_logvar_flat, out_logvar_cache = self.out_logvar.fused_forward_train(flat)
+        recon_mean = recon_mean_flat.reshape(batch, timesteps, self.n_features)
+        recon_logvar = recon_logvar_flat.reshape(batch, timesteps, self.n_features)
+        cache = (
+            encoder_cache,
+            mu_cache,
+            logvar_cache,
+            decoder_cache,
+            mean_cache,
+            out_logvar_cache,
+            sigma,
+            eps,
+            (batch, timesteps),
+        )
+        return (recon_mean, recon_logvar, mu, logvar), cache
+
+    def fused_backward_train(self, grad_output, cache) -> np.ndarray:
+        (
+            encoder_cache,
+            mu_cache,
+            logvar_cache,
+            decoder_cache,
+            mean_cache,
+            out_logvar_cache,
+            sigma,
+            eps,
+            (batch, timesteps),
+        ) = cache
+        d_recon_mean, d_recon_logvar, d_mu_direct, d_logvar_direct = grad_output
+        flat_shape = (batch * timesteps, self.n_features)
+        d_flat = self.out_mean.fused_backward_train(
+            np.asarray(d_recon_mean, dtype=np.float64).reshape(flat_shape), mean_cache
+        )
+        d_flat = d_flat + self.out_logvar.fused_backward_train(
+            np.asarray(d_recon_logvar, dtype=np.float64).reshape(flat_shape),
+            out_logvar_cache,
+        )
+        d_decoded = d_flat.reshape(batch, timesteps, self.hidden_size)
+        d_z_sequence = self.decoder.fused_backward_train(d_decoded, decoder_cache)
+        d_z = d_z_sequence.sum(axis=1)
+        # Reparameterization backward: z = mu + exp(0.5 · logvar) · eps, so
+        # d_mu gets d_z directly and d_logvar gets d_z · eps · 0.5 · sigma;
+        # the loss head's direct KL gradients ride on top.
+        d_mu = d_z + np.asarray(d_mu_direct, dtype=np.float64)
+        d_logvar = d_z * eps * (0.5 * sigma) + np.asarray(d_logvar_direct, dtype=np.float64)
+        d_encoded = self.mu_head.fused_backward_train(d_mu, mu_cache)
+        d_encoded = d_encoded + self.logvar_head.fused_backward_train(d_logvar, logvar_cache)
+        return self.encoder.fused_backward_train(d_encoded, encoder_cache)
+
+
+class VAEStreamState:
+    """Per-stream encoder carry-over for :meth:`LSTMVAEDetector.scores_incremental`.
+
+    The encoder restarts at every sliding-window boundary, so — exactly like
+    :class:`repro.nn.recurrent.BiLSTMStreamState` — what *can* be carried is
+    the position-independent work: the fused input projection
+    ``sample @ weight_input`` of each window sample.  The state keeps a ring
+    of the last ``sequence_length`` projections in window order; a steady
+    tick pays one ``(features,) @ (features, 4·hidden)`` projection instead
+    of re-projecting the whole window.  The remaining counters mirror
+    :class:`repro.detectors.madgan.InversionState` so the streaming adapter's
+    drain/watchdog plumbing works unchanged (the VAE path is deterministic,
+    so ``fallbacks``/``pending_cold`` stay 0 forever).
+    """
+
+    __slots__ = (
+        "projections",
+        "cursor",
+        "count",
+        "ticks",
+        "fallbacks",
+        "pending_cold",
+        "consecutive_fallbacks",
+    )
+
+    def __init__(self, sequence_length: int, projection_width: int):
+        if sequence_length <= 0 or projection_width <= 0:
+            raise ValueError("sequence_length and projection_width must be positive")
+        self.projections = np.zeros((sequence_length, projection_width))
+        self.cursor = 0
+        self.count = 0
+        self.ticks = 0
+        self.fallbacks = 0
+        self.pending_cold = 0
+        self.consecutive_fallbacks = 0
+
+    def reset(self) -> None:
+        """Empty the projection ring; the next call re-seeds from a full window."""
+        self.projections[:] = 0.0
+        self.cursor = 0
+        self.count = 0
+        self.ticks = 0
+        self.fallbacks = 0
+        self.pending_cold = 0
+        self.consecutive_fallbacks = 0
+
+
+class LSTMVAEDetector(AnomalyDetector):
+    """LSTM-VAE detector: per-window reconstruction NLL under the decoder Gaussian.
+
+    Parameters
+    ----------
+    sequence_length, n_features:
+        Window geometry (paper defaults: 12 samples, 4 signals).
+    latent_dim, hidden_size:
+        Bottleneck and LSTM widths.
+    epochs, batch_size, learning_rate:
+        ELBO training hyper-parameters (Adam, gradient clip 5.0 — the same
+        budget the MAD-GAN twins train under).
+    beta:
+        KL weight in the ELBO (``loss = NLL + beta · KL``).
+    quantile:
+        Benign-score quantile calibrating the decision threshold.
+    use_fast_path:
+        When True (default) training runs through :class:`FusedTrainer` with
+        the hand-written backward chain; False routes every step through the
+        autodiff graph.  Both paths consume identical reparameterization
+        draws, so their fixed-seed loss curves match step-for-step and their
+        gradients agree within 1e-8.  Scoring is graph-free either way — it
+        is deterministic (latent = encoder mean) and identical for both.
+    seed:
+        Seed for weights, reparameterization draws, batching, subsampling.
+
+    The anomaly score of a window is the **max over timesteps** of the mean
+    per-feature Gaussian NLL — like MAD-GAN's max-over-timesteps
+    reconstruction error, a manipulation localized in the trailing samples is
+    not diluted by the well-reconstructed rest of the window.
+    """
+
+    name = "LSTM-VAE"
+
+    def __init__(
+        self,
+        sequence_length: int = 12,
+        n_features: int = 4,
+        latent_dim: int = 3,
+        hidden_size: int = 16,
+        epochs: int = 15,
+        batch_size: int = 64,
+        learning_rate: float = 0.005,
+        beta: float = 1.0,
+        quantile: float = 0.95,
+        max_samples: int = 3000,
+        use_fast_path: bool = True,
+        seed=0,
+    ):
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.sequence_length = int(sequence_length)
+        self.n_features = int(n_features)
+        self.latent_dim = int(latent_dim)
+        self.hidden_size = int(hidden_size)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.beta = float(beta)
+        self.max_samples = int(max_samples)
+        self.use_fast_path = bool(use_fast_path)
+        self._rng = as_random_state(seed)
+        core_seed = self._rng.spawn(1)[0]
+        self._core = _VAECore(
+            self.sequence_length, self.n_features, self.latent_dim, self.hidden_size, seed=core_seed
+        )
+        self.calibrator = ThresholdCalibrator(quantile=quantile)
+        self._scaler: Optional[StandardScaler] = None
+        self.history_: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------ scaling
+    def _scale(self, windows: np.ndarray, fit: bool = False) -> np.ndarray:
+        windows = check_array(windows, "windows", ndim=3, min_samples=1)
+        if windows.shape[1] != self.sequence_length or windows.shape[2] != self.n_features:
+            raise ValueError(
+                f"windows must have shape (n, {self.sequence_length}, {self.n_features}), "
+                f"got {windows.shape}"
+            )
+        flat = windows.reshape(-1, self.n_features)
+        if fit:
+            self._scaler = StandardScaler().fit(flat)
+        if self._scaler is None:
+            raise RuntimeError("LSTMVAEDetector is not fitted")
+        return self._scaler.transform(flat).reshape(windows.shape)
+
+    # ----------------------------------------------------------------- training
+    def fit(self, windows: np.ndarray, labels: Optional[np.ndarray] = None, obs=None) -> "LSTMVAEDetector":
+        """Train the ELBO on benign windows; calibrate the NLL threshold.
+
+        ``labels`` (optional) filters to benign rows (label 0) — the VAE is
+        unsupervised and must never see malicious windows.  ``obs`` threads an
+        :class:`~repro.obs.Observer` into the :class:`FusedTrainer` step loop
+        (``train.steps_total`` / ``train.step_batch`` / ``train.step_seconds``
+        / ``train.grad_buffers``); None records nothing.
+        """
+        if labels is not None:
+            labels = check_array(labels, "labels", ndim=1)
+            windows = np.asarray(windows)[labels == 0]
+            if len(windows) == 0:
+                raise ValueError("no benign samples (label 0) to fit on")
+        scaled = self._scale(np.asarray(windows, dtype=np.float64), fit=True)
+        if len(scaled) > self.max_samples:
+            index = self._rng.choice(len(scaled), size=self.max_samples, replace=False)
+            scaled = scaled[index]
+
+        optimizer = Adam(self._core.parameters(), learning_rate=self.learning_rate)
+        loss_head = fused_vae_loss_head(self.beta)
+        trainer = FusedTrainer(
+            self._core, optimizer, loss=loss_head, gradient_clip=5.0, obs=obs
+        )
+        iterator = BatchIterator(
+            scaled,
+            batch_size=self.batch_size,
+            shuffle=True,
+            drop_last=True,
+            seed=self._rng.derive("batches"),
+        )
+        history: List[float] = []
+        for _ in range(self.epochs):
+            losses = []
+            for batch, _ in iterator:
+                # One reparameterization draw per step, consumed identically
+                # by the fused and graph twins (fixed-seed curve parity).
+                eps = self._rng.normal(0.0, 1.0, size=(len(batch), self.latent_dim))
+                self._core._pending_eps = eps
+                if self.use_fast_path:
+                    losses.append(trainer.step(batch, batch))
+                else:
+                    losses.append(self._vae_step_graph(batch, eps, optimizer))
+            history.append(float(np.mean(losses)))
+        self._core._pending_eps = None
+        self.history_ = history
+
+        benign_scores = self._nll_scores(scaled)
+        self.calibrator.fit(benign_scores)
+        return self
+
+    def _vae_step_graph(self, batch: np.ndarray, eps: np.ndarray, optimizer) -> float:
+        """One ELBO step through the autodiff graph (reference twin).
+
+        Mirrors :meth:`FusedTrainer.step` stage for stage — zero-grad,
+        forward, loss, backward, clip, update — with the loss built from the
+        same elementwise-mean reductions as the fused head.
+        """
+        optimizer.zero_grad()
+        recon_mean, recon_logvar, mu, logvar = self._core(Tensor(batch), eps)
+        target = np.asarray(batch, dtype=np.float64)
+        difference = recon_mean - target
+        inv_var = (recon_logvar * -1.0).exp()
+        nll = (recon_logvar + difference * difference * inv_var + LOG_2PI).sum() * (
+            0.5 / recon_mean.size
+        )
+        kl = ((mu * mu) + logvar.exp() - logvar - 1.0).sum() * (0.5 / mu.size)
+        loss = nll + kl * self.beta
+        loss.backward()
+        optimizer.clip_gradients(5.0)
+        optimizer.step()
+        return float(loss.item())
+
+    # ------------------------------------------------------------------ scoring
+    def _encode_mean(self, scaled: np.ndarray) -> np.ndarray:
+        """Deterministic encoder pass: the latent is the posterior mean."""
+        encoded = self._core.encoder.fast_forward(scaled)
+        return self._core.mu_head.fast_forward(encoded)
+
+    def _decode_scores(self, scaled: np.ndarray, latent_mean: np.ndarray) -> np.ndarray:
+        """Per-window NLL of ``scaled`` under the decoder Gaussian at ``latent_mean``."""
+        count, timesteps, _ = scaled.shape
+        z_sequence = np.repeat(latent_mean[:, np.newaxis, :], timesteps, axis=1)
+        decoded = self._core.decoder.fast_forward(z_sequence)
+        flat = decoded.reshape(count * timesteps, self.hidden_size)
+        mean = self._core.out_mean.fast_forward(flat).reshape(scaled.shape)
+        logvar = self._core.out_logvar.fast_forward(flat).reshape(scaled.shape)
+        difference = scaled - mean
+        nll = 0.5 * (logvar + difference * difference * np.exp(-logvar) + LOG_2PI)
+        per_timestep = nll.mean(axis=2)
+        # Max over timesteps: a manipulation typically touches only the
+        # trailing samples of a window (same rationale as MAD-GAN).
+        return per_timestep.max(axis=1)
+
+    def _nll_scores(self, scaled: np.ndarray) -> np.ndarray:
+        return self._decode_scores(scaled, self._encode_mean(scaled))
+
+    def scores(self, windows: np.ndarray) -> np.ndarray:
+        """Reconstruction-NLL anomaly scores, larger = more anomalous.
+
+        Deterministic (latent = encoder mean, no sampling): repeated calls on
+        the same windows are bitwise identical, and any two replicas scoring
+        the same batch — e.g. sharded vs single-process serving of one lane —
+        agree bitwise.  Calls with different batch composition agree within
+        1e-12 (BLAS rounds per batch shape).
+        """
+        check_fitted(self, ("_scaler", "history_"))
+        scaled = self._scale(np.asarray(windows, dtype=np.float64))
+        return self._nll_scores(scaled)
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Binary decisions for raw windows: 1 = anomalous (see :meth:`scores`)."""
+        return self.calibrator.predict(self.scores(windows))
+
+    # ----------------------------------------------------------- incremental API
+    def make_inversion_state(self) -> VAEStreamState:
+        """Fresh per-stream encoder carry-over for :meth:`scores_incremental`."""
+        return VAEStreamState(self.sequence_length, 4 * self.hidden_size)
+
+    def scores_incremental(
+        self, windows: np.ndarray, states: Sequence[VAEStreamState]
+    ) -> np.ndarray:
+        """Streaming NLL scores with per-stream encoder-projection carry-over.
+
+        Parameters
+        ----------
+        windows:
+            ``(n, sequence_length, n_features)`` raw windows, one per stream,
+            each the stream's current sliding window (shifted by exactly one
+            sample since that stream's previous call).
+        states:
+            One :class:`VAEStreamState` per window, aligned by position and
+            updated in place.  A stream's first call (empty ring) projects
+            the whole window once to seed the ring; later calls project only
+            the newest sample.
+
+        The encoder recurrence then runs on the ring rows with the identical
+        per-step arithmetic as :meth:`repro.nn.recurrent.LSTM.fast_forward`,
+        and the decoder/score tail is shared with :meth:`scores` — streaming
+        *verdicts* are bitwise equal to the offline path and streaming scores
+        agree within 1e-12 (``check_parity.run_detector_family_smoke`` and
+        ``tests/test_detectors_vae_hmm.py`` gate both).  Scores are not
+        bitwise because BLAS rounds per batch shape: the per-tick call
+        multiplies one window (and, steady-state, one sample) where the
+        offline call multiplies all windows at once.  Calls with identical
+        batch composition — a repeated call, or sharded vs single-process
+        serving of the same lane — ARE bitwise identical.
+        """
+        check_fitted(self, ("_scaler", "history_"))
+        windows = np.asarray(windows, dtype=np.float64)
+        if len(windows) != len(states):
+            raise ValueError("windows and states must have the same length")
+        scaled = self._scale(windows)
+        count = len(scaled)
+        sequence_length = self.sequence_length
+        cell = self._core.encoder.cell
+        weight_input = cell.weight_input.data
+        projected = np.empty((count, sequence_length, 4 * self.hidden_size))
+        for index, state in enumerate(states):
+            if state.count < sequence_length:
+                # Cold seed (first call or post-reset): project the whole
+                # window — the same fused ``(T, F) @ (F, 4H)`` product
+                # fast_forward uses — and store it in window order.
+                ring = scaled[index] @ weight_input
+                state.projections[:] = ring
+                state.cursor = 0
+                state.count = sequence_length
+                projected[index] = ring
+            else:
+                state.projections[state.cursor] = scaled[index, -1, :] @ weight_input
+                state.cursor = (state.cursor + 1) % sequence_length
+                start = state.cursor
+                if start:
+                    projected[index, : sequence_length - start] = state.projections[start:]
+                    projected[index, sequence_length - start :] = state.projections[:start]
+                else:
+                    projected[index] = state.projections
+            state.ticks += 1
+
+        hidden = np.zeros((count, self.hidden_size))
+        cell_state = np.zeros((count, self.hidden_size))
+        gates_buffer = np.empty((count, 4 * self.hidden_size))
+        for step in range(sequence_length):
+            hidden, cell_state = cell.fast_step(
+                projected[:, step, :], hidden, cell_state, gates_buffer
+            )
+        latent_mean = self._core.mu_head.fast_forward(hidden)
+        return self._decode_scores(scaled, latent_mean)
+
+    def predict_incremental(
+        self,
+        windows: np.ndarray,
+        states: Sequence[VAEStreamState],
+        include_scores: bool = False,
+    ):
+        """Binary decisions via :meth:`scores_incremental` (one encoder pass).
+
+        Returns the ``(n,)`` int flag array, or ``(flags, scores)`` when
+        ``include_scores`` is True.
+        """
+        scores = self.scores_incremental(windows, states)
+        flags = self.calibrator.predict(scores)
+        if include_scores:
+            return flags, scores
+        return flags
+
+    # -------------------------------------------------------------- addressing
+    def state_hash(self) -> str:
+        """Content address over weights, scaler, and calibrated threshold.
+
+        Two fitted detectors share a hash exactly when they would score every
+        window identically — the property the sharded fabric's pickle
+        round-trip gates pin (``tests/test_serialization.py``).
+        """
+        check_fitted(self, ("_scaler", "history_"))
+        digest = hashlib.sha256()
+        digest.update(self._core.state_hash().encode())
+        digest.update(np.ascontiguousarray(self._scaler.mean_).tobytes())
+        digest.update(np.ascontiguousarray(self._scaler.std_).tobytes())
+        digest.update(np.float64(self.calibrator.threshold_ or 0.0).tobytes())
+        digest.update(np.float64(self.beta).tobytes())
+        return digest.hexdigest()

@@ -277,6 +277,39 @@ class InversionState:
         self.consecutive_fallbacks = 0
 
 
+@dataclass
+class ColdBatchPlan:
+    """Intermediate state between the two phases of incremental scoring.
+
+    :meth:`MADGANDetector.begin_scores_incremental` classifies every stream
+    (warm / cold / deferred), runs the warm inversions, draws the cold-start
+    latents, and stops *just before* the cold inversion — the one batched
+    gradient search that dominates tick cost.  The plan carries everything
+    :meth:`MADGANDetector.finish_scores_incremental` needs to resume, which
+    lets a scheduler coalesce the cold work of *several* detector groups into
+    one inversion batch per detector (see
+    ``repro.serving.scheduler.Scheduler(coalesce_cold_batches=...)``).
+
+    Plans are single-tick, single-process objects: they hold live references
+    to the caller's states and never cross a pickle boundary.
+    """
+
+    #: Scaled ``(n, sequence_length, n_features)`` windows for this call.
+    scaled: np.ndarray
+    #: The caller's per-stream states, updated in place by ``finish``.
+    states: Sequence[InversionState]
+    #: Per-stream errors; warm entries are final, cold entries placeholders.
+    errors: np.ndarray
+    #: Stream indices whose cold inversion is still owed (may be empty).
+    rerun_cold: List[int]
+    #: Subset of ``rerun_cold`` that keeps ``min(warm, cold)`` semantics.
+    fallback_set: set
+    #: ``(len(rerun_cold), sequence_length, latent_dim)`` cold-start latents,
+    #: drawn by ``begin`` so RNG order is identical whether or not the cold
+    #: inversion is batched with other plans; None when nothing is owed.
+    cold_initial: Optional[np.ndarray] = None
+
+
 class MADGANDetector(AnomalyDetector):
     """MAD-GAN anomaly detector with the DR anomaly score.
 
@@ -751,6 +784,28 @@ class MADGANDetector(AnomalyDetector):
         Raises ``ValueError`` when the detector was built with
         ``use_fast_path=False``: the warm inversion has no autodiff twin, so
         the reference configuration must score through :meth:`scores`.
+
+        Implemented as :meth:`finish_scores_incremental` applied to
+        :meth:`begin_scores_incremental` — callers that want to batch the
+        cold inversion across several calls (the scheduler's cross-group
+        coalescing) invoke the phases separately; this one-shot composition
+        is bitwise identical to the pre-phased implementation.
+        """
+        return self.finish_scores_incremental(
+            self.begin_scores_incremental(windows, states)
+        )
+
+    def begin_scores_incremental(
+        self, windows: np.ndarray, states: Sequence[InversionState]
+    ) -> ColdBatchPlan:
+        """Phase 1 of :meth:`scores_incremental`: everything but the cold batch.
+
+        Classifies streams, runs the warm inversions and fallback logic, and
+        draws the cold-start latents, returning a :class:`ColdBatchPlan`
+        whose ``rerun_cold`` names the streams still owing a cold inversion.
+        Pass the plan to :meth:`finish_scores_incremental` — directly for
+        the one-shot path, or after running :meth:`invert_cold` yourself
+        (possibly on several plans' windows concatenated) to coalesce.
         """
         if not self.use_fast_path:
             raise ValueError(
@@ -895,12 +950,64 @@ class MADGANDetector(AnomalyDetector):
                     states[index].pending_cold += 1
 
         rerun_cold = cold_indices + late_flush + fallback_indices
+        cold_initial = None
         if rerun_cold:
-            fallback_set = set(fallback_indices)
-            initial = self._sample_latent(len(rerun_cold)) * 0.1
-            cold_errors, cold_latents = self._invert_fast(
-                scaled[rerun_cold], initial, self.inversion_steps
-            )
+            # Drawn here (not in finish) so the detector's RNG stream advances
+            # identically whether the cold batch runs standalone or merged
+            # with other plans by a coalescing scheduler.
+            cold_initial = self._sample_latent(len(rerun_cold)) * 0.1
+        return ColdBatchPlan(
+            scaled=scaled,
+            states=states,
+            errors=errors,
+            rerun_cold=rerun_cold,
+            fallback_set=set(fallback_indices),
+            cold_initial=cold_initial,
+        )
+
+    def invert_cold(
+        self, scaled_windows: np.ndarray, initial: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the full-strength cold inversion on already-scaled windows.
+
+        The public hook a coalescing scheduler uses to run ONE batched
+        inversion over several plans' ``scaled[rerun_cold]`` windows (with
+        their ``cold_initial`` latents concatenated in the same order), then
+        split the results back per plan for :meth:`finish_scores_incremental`.
+        Counts one :attr:`inversion_calls` batch regardless of size.
+        """
+        return self._invert_fast(scaled_windows, initial, self.inversion_steps)
+
+    def finish_scores_incremental(
+        self,
+        plan: ColdBatchPlan,
+        cold_errors: Optional[np.ndarray] = None,
+        cold_latents: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Phase 2 of :meth:`scores_incremental`: settle the cold batch.
+
+        With ``cold_errors``/``cold_latents`` omitted, runs the plan's own
+        cold inversion (the one-shot path).  A coalescing caller instead
+        passes this plan's slice of a merged :meth:`invert_cold` result; the
+        fallback ``min(warm, cold)`` semantics, state updates, and DR scoring
+        are identical either way.
+        """
+        scaled = plan.scaled
+        states = plan.states
+        errors = plan.errors
+        rerun_cold = plan.rerun_cold
+        if rerun_cold:
+            fallback_set = plan.fallback_set
+            if cold_errors is None:
+                cold_errors, cold_latents = self.invert_cold(
+                    scaled[rerun_cold], plan.cold_initial
+                )
+            elif cold_latents is None:
+                raise ValueError("cold_latents must accompany cold_errors")
+            if len(cold_errors) != len(rerun_cold):
+                raise ValueError(
+                    f"expected {len(rerun_cold)} cold results, got {len(cold_errors)}"
+                )
             for position, index in enumerate(rerun_cold):
                 state = states[index]
                 cold_error = float(cold_errors[position])
@@ -933,6 +1040,24 @@ class MADGANDetector(AnomalyDetector):
         were thresholded from, so callers never pay a second inversion.
         """
         scores = self.scores_incremental(windows, states)
+        flags = self.calibrator.predict(scores)
+        if include_scores:
+            return flags, scores
+        return flags
+
+    def finish_predict_incremental(
+        self,
+        plan: ColdBatchPlan,
+        cold_errors: Optional[np.ndarray] = None,
+        cold_latents: Optional[np.ndarray] = None,
+        include_scores: bool = False,
+    ):
+        """Verdict-level phase 2: :meth:`finish_scores_incremental` + threshold.
+
+        The coalescing scheduler's counterpart of :meth:`predict_incremental`
+        — same return convention, same single-inversion guarantee.
+        """
+        scores = self.finish_scores_incremental(plan, cold_errors, cold_latents)
         flags = self.calibrator.predict(scores)
         if include_scores:
             return flags, scores

@@ -7,8 +7,15 @@ measurements one at a time and must flag the manipulated trace as it streams.
 samples and feeds the underlying detector exactly the view it was trained on
 (the final measurement for ``unit="sample"`` detectors such as kNN and
 OneClassSVM, the whole multivariate window for ``unit="window"`` detectors
-such as MAD-GAN).  Verdicts are therefore *identical* to running the offline
-``predict`` on the same windows — pinned by ``tests/test_serving.py``.
+such as MAD-GAN, LSTM-VAE, and the Gaussian HMM).  Verdicts are therefore
+*identical* to running the offline ``predict`` on the same windows — pinned
+by ``tests/test_serving.py`` and ``tests/test_detectors_vae_hmm.py``
+(per-detector score tolerances: ``docs/detectors.md``).
+
+Detectors exposing the incremental API (``make_inversion_state`` +
+``scores_incremental``) are auto-upgraded to O(1)-per-tick scoring with one
+carried state object per stream — MAD-GAN's warm-started latent, the
+LSTM-VAE's projection ring, the HMM's partial-alpha band.
 
 The adapter holds one ring per stream; the underlying detector object may be
 shared by many adapters, which is what lets the serving scheduler coalesce

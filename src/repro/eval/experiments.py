@@ -19,7 +19,9 @@ import numpy as np
 from repro.attacks.campaign import CampaignResult, WindowAttackRecord
 from repro.data.cohort import CGM_COLUMN, Cohort
 from repro.detectors.base import AnomalyDetector
+from repro.detectors.hmm import GaussianHMMDetector
 from repro.detectors.knn import KNNClassifierDetector
+from repro.detectors.lstm_vae import LSTMVAEDetector
 from repro.detectors.madgan import MADGANDetector
 from repro.detectors.ocsvm import OneClassSVMDetector
 from repro.eval.metrics import ConfusionMatrix, confusion_matrix
@@ -58,9 +60,11 @@ def default_detector_factories(
     madgan_inversion_steps: int = 30,
     ocsvm_kernel: str = "rbf",
     ocsvm_nu: float = 0.1,
+    vae_epochs: int = 10,
+    hmm_iterations: int = 10,
     seed: int = 0,
 ) -> Dict[str, DetectorSpec]:
-    """The paper's three detectors.
+    """The paper's three detectors plus the LSTM-VAE / HMM family.
 
     kNN keeps the paper's Appendix-B configuration exactly.  The paper's
     OneClassSVM settings (sigmoid kernel, ``coef0=10``, ``ν=0.5``) degenerate
@@ -69,7 +73,11 @@ def default_detector_factories(
     with a smaller ν; the paper configuration remains available through
     :class:`repro.detectors.OneClassSVMDetector` and the ablation benchmark.
     MAD-GAN follows Appendix B (4 signals, sequence length 12) with a smaller
-    epoch budget suited to CPU runs.
+    epoch budget suited to CPU runs.  The LSTM-VAE (reconstruction
+    negative log-likelihood) and the Gaussian-emission HMM (window
+    log-likelihood) extend the comparison with the detector family named in
+    the ROADMAP; both share MAD-GAN's window geometry so every selection
+    strategy and attack campaign applies unchanged.
     """
     return {
         "kNN": DetectorSpec(
@@ -88,6 +96,14 @@ def default_detector_factories(
                 inversion_steps=madgan_inversion_steps,
                 seed=seed,
             ),
+            unit="window",
+        ),
+        "LSTM-VAE": DetectorSpec(
+            factory=lambda: LSTMVAEDetector(epochs=vae_epochs, seed=seed),
+            unit="window",
+        ),
+        "HMM": DetectorSpec(
+            factory=lambda: GaussianHMMDetector(n_iter=hmm_iterations, seed=seed),
             unit="window",
         ),
     }

@@ -45,7 +45,10 @@ from repro.nn.functional import (
 from repro.nn.fused import (
     FusedTrainer,
     fused_bce_with_logits_loss,
+    fused_gaussian_nll_loss,
+    fused_kl_standard_normal,
     fused_mse_loss,
+    fused_vae_loss_head,
 )
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.data import BatchIterator
@@ -83,6 +86,9 @@ __all__ = [
     "FusedTrainer",
     "fused_mse_loss",
     "fused_bce_with_logits_loss",
+    "fused_gaussian_nll_loss",
+    "fused_kl_standard_normal",
+    "fused_vae_loss_head",
     "Optimizer",
     "SGD",
     "Adam",

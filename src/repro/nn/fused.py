@@ -8,9 +8,13 @@ passes (see ``fused_forward_train`` / ``fused_backward_train`` on ``Dense``,
 ``LSTM``, ``BiLSTM``, ``Sequential`` and the one-shot ``Module.fused_grads``)
 plus the two loss heads the repository trains with:
 
-* :func:`fused_mse_loss` — the predictor's regression objective, and
+* :func:`fused_mse_loss` — the predictor's regression objective,
 * :func:`fused_bce_with_logits_loss` — the MAD-GAN generator/discriminator
-  objective.
+  objective, and
+* :func:`fused_vae_loss_head` — the LSTM-VAE ELBO (analytic
+  :func:`fused_kl_standard_normal` KL + :func:`fused_gaussian_nll_loss`
+  reconstruction likelihood), whose gradients seed the detector's
+  reparameterized encoder/decoder backward chain.
 
 Both return ``(loss_value, grad_wrt_inputs)`` and mirror the corresponding
 autodiff ops operation-for-operation (same clipped sigmoid, same
@@ -126,9 +130,86 @@ def fused_bce_with_logits_loss(
     return loss, grad
 
 
+#: ``log(2π)`` shared by the Gaussian-NLL loss head and the LSTM-VAE scoring
+#: path so the trained objective and the serving score use the same constant.
+LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def fused_gaussian_nll_loss(
+    mean: np.ndarray, logvar: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Elementwise-mean Gaussian negative log-likelihood and its gradients.
+
+    The density is parameterized by a predicted mean and log-variance per
+    element: ``0.5 * (logvar + (x - mean)^2 * exp(-logvar) + log 2π)``,
+    averaged over every element.  Returns ``(loss, d_mean, d_logvar)``; the
+    gradients are the textbook derivatives expressed through the same
+    ``exp(-logvar)`` factor the loss value uses, so the fused path mirrors a
+    graph built from ``exp``/``mul``/``sum`` ops within 1e-8.
+    """
+    mean = np.asarray(mean, dtype=np.float64)
+    logvar = np.asarray(logvar, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    inv_var = np.exp(-logvar)
+    difference = mean - targets
+    weighted = difference * difference * inv_var
+    scale = 1.0 / mean.size
+    loss = float((logvar + weighted + LOG_2PI).sum() * (0.5 * scale))
+    d_mean = difference * inv_var * scale
+    d_logvar = (1.0 - weighted) * (0.5 * scale)
+    return loss, d_mean, d_logvar
+
+
+def fused_kl_standard_normal(
+    mu: np.ndarray, logvar: np.ndarray
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Elementwise-mean ``KL(N(mu, exp(logvar)) || N(0, 1))`` and gradients.
+
+    The analytic form ``0.5 * (mu^2 + exp(logvar) - logvar - 1)`` needs no
+    sampling; returns ``(kl, d_mu, d_logvar)`` with the same elementwise-mean
+    reduction as :func:`fused_gaussian_nll_loss` so the two heads compose
+    into one ELBO with a single ``beta`` weight.
+    """
+    mu = np.asarray(mu, dtype=np.float64)
+    logvar = np.asarray(logvar, dtype=np.float64)
+    var = np.exp(logvar)
+    scale = 1.0 / mu.size
+    kl = float((mu * mu + var - logvar - 1.0).sum() * (0.5 * scale))
+    d_mu = mu * scale
+    d_logvar = (var - 1.0) * (0.5 * scale)
+    return kl, d_mu, d_logvar
+
+
+def fused_vae_loss_head(beta: float = 1.0) -> LossHead:
+    """Build the LSTM-VAE ELBO loss head: Gaussian NLL + ``beta`` · KL.
+
+    The returned callable plugs into :class:`FusedTrainer` as ``loss``; it
+    expects the module's ``fused_forward_train`` to output the 4-tuple
+    ``(recon_mean, recon_logvar, mu, logvar)`` (see
+    :class:`repro.detectors.lstm_vae.LSTMVAEDetector`) and returns the
+    matching 4-tuple of output gradients, with the KL branch scaled by
+    ``beta`` exactly as the loss value is.
+    """
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    beta = float(beta)
+
+    def fused_vae_loss(outputs, targets: np.ndarray):
+        recon_mean, recon_logvar, mu, logvar = outputs
+        nll, d_mean, d_recon_logvar = fused_gaussian_nll_loss(
+            recon_mean, recon_logvar, targets
+        )
+        kl, d_mu, d_logvar = fused_kl_standard_normal(mu, logvar)
+        loss = nll + beta * kl
+        return loss, (d_mean, d_recon_logvar, beta * d_mu, beta * d_logvar)
+
+    return fused_vae_loss
+
+
 FUSED_LOSSES: Dict[str, LossHead] = {
     "mse": fused_mse_loss,
     "bce_logits": fused_bce_with_logits_loss,
+    "vae_elbo": fused_vae_loss_head(1.0),
 }
 
 

@@ -131,6 +131,21 @@ class StreamScheduler:
         When True, :meth:`open_session` refuses predictors whose weights or
         scaler statistics contain non-finite values
         (:func:`~repro.serving.health.validate_checkpoint`).
+    coalesce_cold_batches:
+        When True (the default) and one *phased* incremental detector object
+        (one exposing ``begin_scores_incremental`` — MAD-GAN) backs two or
+        more detector groups in a tick (i.e. is shared across lanes), the
+        scheduler runs each group's warm phase separately but merges every
+        group's owed cold inversions into ONE batched
+        :meth:`~repro.detectors.madgan.MADGANDetector.invert_cold` call per
+        detector — closing the ROADMAP gap where deferred cold fallbacks
+        coalesced per-detector-group only.  Verdicts are identical to the
+        uncoalesced path (the cold-start latents are drawn in the warm phase
+        so the detector RNG stream never shifts; pinned by
+        ``tests/test_detectors_vae_hmm.py``); only the inversion batch count
+        drops.  Deterministic detectors (LSTM-VAE, HMM, kNN) never take this
+        path, so lane-scoped bitwise parity is untouched.  Set False to force
+        the per-group cold batches (parity/benchmark comparisons).
     obs:
         Optional :class:`~repro.obs.Observer`.  When set, every tick emits
         deterministic metrics (lane/detector/ingress/health series — see
@@ -148,12 +163,14 @@ class StreamScheduler:
         health: Optional[HealthConfig] = None,
         ingress: Optional[IngressConfig] = None,
         validate_checkpoints: bool = False,
+        coalesce_cold_batches: bool = True,
         obs=None,
     ):
         self.use_single_fast_path = bool(use_single_fast_path)
         self.health = health
         self.ingress = ingress
         self.validate_checkpoints = bool(validate_checkpoints)
+        self.coalesce_cold_batches = bool(coalesce_cold_batches)
         self.obs = obs
         self._lanes: Dict[str, _Lane] = {}
         self._sessions: Dict[str, PatientSession] = {}
@@ -541,8 +558,27 @@ class StreamScheduler:
 
         # One batched query per lane per distinct detector object and view
         # shape; incremental adapters additionally thread their per-stream
-        # states through the detector's batched incremental call.
+        # states through the detector's batched incremental call.  When one
+        # *phased* incremental detector (MAD-GAN) backs several groups this
+        # tick, its groups run warm phases eagerly here but pool their owed
+        # cold inversions for one merged batch below (coalesce_cold_batches).
+        coalescible: set = set()
+        if self.coalesce_cold_batches:
+            phased_counts: Dict[int, int] = {}
+            for group in pending_views.values():
+                if group["incremental"] and hasattr(
+                    group["detector"], "begin_scores_incremental"
+                ):
+                    key = id(group["detector"])
+                    phased_counts[key] = phased_counts.get(key, 0) + 1
+            coalescible = {key for key, count in phased_counts.items() if count >= 2}
+        # id(detector) -> [(group_key, group, plan, started, wants_scores)],
+        # in tick iteration order (the order the begin phases drew their
+        # cold-start latents — splitting the merged inversion back follows it).
+        deferred_plans: Dict[int, List] = {}
+
         for group_key, group in pending_views.items():
+            group_started = None
             if obs is not None:
                 group_started = perf_counter()
                 obs.registry.inc(
@@ -558,6 +594,14 @@ class StreamScheduler:
             try:
                 if group["incremental"]:
                     states = [adapter.inversion_state for _, _, adapter, _, _ in group["targets"]]
+                    if id(group["detector"]) in coalescible:
+                        plan = group["detector"].begin_scores_incremental(
+                            stacked_views, states
+                        )
+                        deferred_plans.setdefault(id(group["detector"]), []).append(
+                            (group_key, group, plan, group_started, wants_scores)
+                        )
+                        continue
                     flags, scores = group["detector"].predict_incremental(
                         stacked_views, states, include_scores=True
                     )
@@ -569,46 +613,100 @@ class StreamScheduler:
             except Exception as exc:
                 self._detector_failure(group["targets"], exc)
                 continue
-            for index, (outcome, name, adapter, detector_tick, _) in enumerate(group["targets"]):
-                score = (
-                    float(scores[index])
-                    if scores is not None and adapter.include_scores
-                    else None
-                )
-                verdict = StreamVerdict(
-                    tick=detector_tick,
-                    warming=False,
-                    flagged=bool(flags[index]),
-                    score=score,
-                    degraded=adapter.watchdog_tripped(),
-                )
-                outcome.verdicts[name] = verdict
-                if obs is not None:
-                    obs.registry.inc(
-                        "serving.detector_verdicts_total",
-                        detector=name,
-                        flagged="yes" if verdict.flagged else "no",
+            self._apply_group_verdicts(group_key, group, flags, scores, group_started, now)
+
+        for entries in deferred_plans.values():
+            detector = entries[0][1]["detector"]
+            owed = [entry for entry in entries if entry[2].rerun_cold]
+            cold_errors = cold_latents = None
+            if owed:
+                try:
+                    cold_errors, cold_latents = detector.invert_cold(
+                        np.concatenate(
+                            [plan.scaled[plan.rerun_cold] for _, _, plan, _, _ in owed]
+                        ),
+                        np.concatenate([plan.cold_initial for _, _, plan, _, _ in owed]),
                     )
-                    if verdict.degraded:
-                        obs.registry.inc("serving.watchdog_degraded_total", detector=name)
-            if obs is not None:
-                if group["incremental"]:
-                    for _, name, adapter, _, _ in group["targets"]:
-                        self._observe_inversion(name, adapter)
-                obs.emit_span(
-                    "detector_batch",
-                    group_started,
-                    tick=now,
-                    lane=group_key[0],
-                    sessions=tuple(
-                        session.session_id for _, _, _, _, session in group["targets"]
-                    ),
-                    batch=len(group["targets"]),
-                    incremental=group["incremental"],
+                except Exception as exc:
+                    for _, group, _, _, _ in entries:
+                        self._detector_failure(group["targets"], exc)
+                    continue
+                if obs is not None and len(owed) >= 2:
+                    obs.registry.inc("serving.cold_coalesced_total")
+                    obs.registry.observe(
+                        "serving.cold_coalesce_windows", len(cold_errors)
+                    )
+            offset = 0
+            for group_key, group, plan, group_started, wants_scores in entries:
+                n_cold = len(plan.rerun_cold)
+                slice_errors = slice_latents = None
+                if n_cold:
+                    slice_errors = cold_errors[offset : offset + n_cold]
+                    slice_latents = cold_latents[offset : offset + n_cold]
+                    offset += n_cold
+                try:
+                    flags, scores = detector.finish_predict_incremental(
+                        plan, slice_errors, slice_latents, include_scores=True
+                    )
+                except Exception as exc:
+                    self._detector_failure(group["targets"], exc)
+                    continue
+                if not wants_scores:
+                    scores = None
+                self._apply_group_verdicts(
+                    group_key, group, flags, scores, group_started, now
                 )
         if obs is not None:
             self._finish_tick_obs(tick_started, events_mark, results)
         return results
+
+    def _apply_group_verdicts(
+        self, group_key, group, flags, scores, group_started, now
+    ) -> None:
+        """Distribute one detector group's flags/scores to its sessions.
+
+        Shared by the eager per-group path and the coalesced cold-batch path
+        — verdict construction, per-verdict counters, inversion-activity
+        draining, and the ``detector_batch`` span are identical either way.
+        """
+        obs = self.obs
+        for index, (outcome, name, adapter, detector_tick, _) in enumerate(group["targets"]):
+            score = (
+                float(scores[index])
+                if scores is not None and adapter.include_scores
+                else None
+            )
+            verdict = StreamVerdict(
+                tick=detector_tick,
+                warming=False,
+                flagged=bool(flags[index]),
+                score=score,
+                degraded=adapter.watchdog_tripped(),
+            )
+            outcome.verdicts[name] = verdict
+            if obs is not None:
+                obs.registry.inc(
+                    "serving.detector_verdicts_total",
+                    detector=name,
+                    flagged="yes" if verdict.flagged else "no",
+                )
+                if verdict.degraded:
+                    obs.registry.inc("serving.watchdog_degraded_total", detector=name)
+        if obs is not None:
+            if group["incremental"]:
+                for _, name, adapter, _, _ in group["targets"]:
+                    self._observe_inversion(name, adapter)
+            obs.emit_span(
+                "detector_batch",
+                group_started,
+                tick=now,
+                lane=group_key[0],
+                sessions=tuple(
+                    session.session_id for _, _, _, _, session in group["targets"]
+                ),
+                batch=len(group["targets"]),
+                incremental=group["incremental"],
+            )
 
     def _observe_inversion(self, name: str, adapter) -> None:
         """Fold one incremental adapter's inversion-activity deltas in."""

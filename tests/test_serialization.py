@@ -17,7 +17,9 @@ import numpy as np
 import pytest
 
 from repro.data.dataset import WindowScaler
+from repro.detectors.hmm import GaussianHMMDetector, HMMStreamState
 from repro.detectors.knn import KNNDistanceDetector
+from repro.detectors.lstm_vae import LSTMVAEDetector, VAEStreamState
 from repro.detectors.madgan import (
     InversionState,
     MADGANDetector,
@@ -178,6 +180,24 @@ class TestStreamStateRoundTrips:
         assert copy.ticks == state.ticks
         assert copy.fallbacks == state.fallbacks
 
+    def test_vae_stream_state_survives(self):
+        state = VAEStreamState(12, 32)
+        state.projections[:] = np.random.default_rng(5).normal(size=(12, 32))
+        state.cursor, state.count, state.ticks = 4, 12, 9
+        copy = round_trip(state)
+        np.testing.assert_array_equal(copy.projections, state.projections)
+        assert (copy.cursor, copy.count, copy.ticks) == (4, 12, 9)
+
+    def test_hmm_stream_state_survives(self):
+        state = HMMStreamState(11, 3)
+        state.alphas[:] = np.random.default_rng(6).dirichlet(np.ones(3), size=11)
+        state.logliks[:] = np.random.default_rng(7).normal(size=11)
+        state.filled, state.ticks = 8, 15
+        copy = round_trip(state)
+        np.testing.assert_array_equal(copy.alphas, state.alphas)
+        np.testing.assert_array_equal(copy.logliks, state.logliks)
+        assert (copy.filled, copy.ticks) == (8, 15)
+
 
 class TestConfigRoundTrips:
     CONFIGS = {
@@ -201,6 +221,26 @@ class TestConfigRoundTrips:
 
 
 class TestDetectorRoundTrips:
+    #: Deterministic detector brains: the pickle copy must score bitwise and
+    #: share the original's content address (the sharded fabric's contract).
+    HASHED_FAMILY = {
+        "lstm_vae": lambda benign: LSTMVAEDetector(
+            epochs=1, hidden_size=8, batch_size=16, seed=0
+        ).fit(benign),
+        "hmm": lambda benign: GaussianHMMDetector(n_states=3, n_iter=3, seed=0).fit(
+            benign
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(HASHED_FAMILY))
+    def test_family_round_trip_preserves_hash_and_scores(self, name):
+        windows, labels = make_toy_windows(seed=8)
+        detector = self.HASHED_FAMILY[name](windows[labels == 0])
+        copy = round_trip(detector)
+        assert copy.state_hash() == detector.state_hash()
+        np.testing.assert_array_equal(copy.scores(windows), detector.scores(windows))
+        np.testing.assert_array_equal(copy.predict(windows), detector.predict(windows))
+
     def test_knn_scores_bitwise_identical(self):
         windows, labels = make_toy_windows(seed=5)
         benign = windows[labels == 0]

@@ -699,6 +699,45 @@ class TestIncrementalStreamingAdapter:
         assert adapter.inversion_state.ticks == 0
         assert adapter.inversion_state.latent is None
 
+    @pytest.fixture(scope="class")
+    def window_brains(self, tiny_zoo, tiny_cohort):
+        from repro.detectors import GaussianHMMDetector, LSTMVAEDetector
+
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        benign = windows[::4]
+        return {
+            "lstm_vae": LSTMVAEDetector(
+                epochs=1, hidden_size=8, batch_size=16, seed=0
+            ).fit(benign),
+            "hmm": GaussianHMMDetector(n_states=3, n_iter=3, seed=0).fit(benign),
+        }
+
+    @pytest.mark.parametrize("name", ["lstm_vae", "hmm"])
+    def test_family_auto_enables_incremental(self, window_brains, name):
+        detector = window_brains[name]
+        assert StreamingDetector(detector, unit="window").incremental
+        assert not StreamingDetector(
+            detector, unit="window", incremental=False
+        ).incremental
+
+    @pytest.mark.parametrize("name", ["lstm_vae", "hmm"])
+    def test_family_threads_stream_state_per_tick(
+        self, window_brains, tiny_cohort, name
+    ):
+        detector = window_brains[name]
+        record = next(iter(tiny_cohort))
+        features = record.features("test")[:16]
+        adapter = StreamingDetector(detector, unit="window", history=12)
+        for index, sample in enumerate(features):
+            verdict = adapter.update(sample)
+            if index < 11:
+                assert verdict.warming
+            else:
+                assert verdict.flagged is not None
+        assert adapter.inversion_state.ticks == 16 - 11
+        adapter.reset()
+        assert adapter.inversion_state.ticks == 0
+
     def test_scheduler_threads_states_through_batched_ticks(
         self, madgan, aggregate_zoo, tiny_cohort
     ):

@@ -25,7 +25,12 @@ import numpy as np
 import pytest
 
 from repro.attacks import AttackCampaign
-from repro.detectors import KNNDistanceDetector, StreamingDetector
+from repro.detectors import (
+    GaussianHMMDetector,
+    KNNDistanceDetector,
+    LSTMVAEDetector,
+    StreamingDetector,
+)
 from repro.serving import (
     AttackEpisode,
     CheckpointError,
@@ -46,6 +51,24 @@ from repro.serving import (
 def knn_detector(tiny_zoo, tiny_cohort):
     train_windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
     return KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :])
+
+
+@pytest.fixture(scope="module")
+def window_family(tiny_zoo, tiny_cohort):
+    """The deterministic window brains (LSTM-VAE + HMM), fitted once.
+
+    Both are streaming-incremental AND batch-composition independent at the
+    verdict level, so — unlike MAD-GAN, whose RNG is re-derived per shard
+    worker — they join the bitwise shard-parity gates directly.
+    """
+    train_windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+    benign = train_windows[::4]
+    return {
+        "lstm_vae": LSTMVAEDetector(
+            epochs=1, hidden_size=8, batch_size=16, seed=0
+        ).fit(benign),
+        "hmm": GaussianHMMDetector(n_states=3, n_iter=3, seed=0).fit(benign),
+    }
 
 
 def tick_fingerprint(outcome):
@@ -160,6 +183,39 @@ class TestShardedParity:
             }
             results = fabric.tick(samples)
         assert list(results) == sorted(results)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_detector_family_chaos_bitwise(
+        self, tiny_zoo, tiny_cohort, window_family, n_shards
+    ):
+        """LSTM-VAE + HMM streaming verdicts survive the shard boundary
+        bitwise under the chaos mix (faults + clocks + churn), at every
+        shard count — the new-detector acceptance gate of ISSUE 9."""
+
+        def replay(scheduler):
+            return StreamReplayer(
+                tiny_zoo,
+                detectors={
+                    name: (detector, "window")
+                    for name, detector in window_family.items()
+                },
+                scheduler=scheduler,
+                clocks=DeviceClockConfig(drift=0.05, jitter=0.1, dropout=0.05, seed=19),
+                churn=SessionChurnConfig(join_stagger=1, disconnect_every=15),
+                faults=SensorFaultConfig(bias_rate=0.05, spike_rate=0.08, seed=11),
+            ).replay(tiny_cohort, split="test", max_ticks=30)
+
+        baseline = report_fingerprint(replay(StreamScheduler()))
+        scored = sum(
+            not tick["verdicts"][name][0]  # warming flag
+            for session in baseline.values()
+            for tick in session["ticks"]
+            for name in tick["verdicts"]
+        )
+        assert scored > 0, "the replay must produce scored (non-warming) verdicts"
+        with ShardedScheduler(n_shards=n_shards) as fabric:
+            sharded = report_fingerprint(replay(fabric))
+        assert sharded == baseline
 
     @pytest.mark.parametrize("n_shards", [1, 2, 4])
     def test_chaos_replay_bitwise(self, tiny_zoo, tiny_cohort, knn_detector, n_shards):
