@@ -43,6 +43,13 @@ percentiles (p50/p95/p99) plus throughput vs the single-process baseline.  The
 actually has 4 cores to run them on (``gate_applicable`` in the report records
 the decision); parity is gated unconditionally.
 
+A ``recovery`` section (``docs/recovery.md``) then prices the crash-recovery
+machinery: scheduler snapshot capture plus checkpoint-file save/load cost
+normalized per 1k sessions, SIGKILL-to-next-tick respawn latency on a
+supervised 2-shard fabric, and the steady-state overhead of arming the
+supervisor at ``snapshot_interval=32`` — gated below 5% with predictions
+bitwise identical to the unsupervised fabric.
+
 Writes ``BENCH_serving.json`` next to the repo root.  Usage::
 
     PYTHONPATH=src python scripts/bench_serving.py [--output PATH] [--repeats N]
@@ -128,6 +135,18 @@ SMOKE_LANES = 4
 OBS_SESSIONS = 64
 OBS_TICKS = 40
 TARGET_OBS_OVERHEAD_PCT = 5.0
+
+#: Crash-recovery costs (``docs/recovery.md``): snapshot capture + checkpoint
+#: file round-trip on a large single-process fleet (normalized per 1k
+#: sessions), SIGKILL-to-next-tick respawn latency on a supervised 2-shard
+#: fabric, and the steady-state tick overhead of arming the supervisor at
+#: the default cadence — gated below ``TARGET_RECOVERY_OVERHEAD_PCT`` %.
+RECOVERY_SNAPSHOT_SESSIONS = 256
+RECOVERY_SESSIONS = 64
+RECOVERY_TICKS = 40
+RECOVERY_LANES = 8
+RECOVERY_SNAPSHOT_INTERVAL = 32
+TARGET_RECOVERY_OVERHEAD_PCT = 5.0
 
 
 def build_fixture():
@@ -627,6 +646,148 @@ def bench_observability(zoo, cohort, repeats: int):
     }
 
 
+def bench_recovery(zoo, cohort, repeats: int):
+    """Crash-recovery cost triplet (see ``docs/recovery.md``).
+
+    1. **Snapshot cost** — ``StreamScheduler.snapshot()`` plus the
+       :class:`~repro.serving.SchedulerCheckpointer` save/load round-trip on
+       a warmed ``RECOVERY_SNAPSHOT_SESSIONS``-session fleet, normalized per
+       1k sessions.
+    2. **Respawn latency** — SIGKILL one worker of a supervised 2-shard
+       fabric that holds a snapshot, then time the next ``tick()`` end to
+       end: death detection, respawn, snapshot restore, journal replay, and
+       the tick itself.
+    3. **Steady-state overhead** — the same fleet served sharded with and
+       without supervision at ``snapshot_interval=RECOVERY_SNAPSHOT_INTERVAL``
+       (the timed window crosses the cadence, so snapshot capture + shipping
+       and parent-side journaling are both in the measurement).  Predictions
+       must be bitwise identical; the overhead is gated in ``main``.
+    """
+    import tempfile
+    import time
+
+    from repro.serving import SchedulerCheckpointer, ShardedScheduler, SupervisorConfig
+
+    warmup = zoo.aggregate.history
+    variants = clone_lane_variants(zoo.aggregate, RECOVERY_LANES)
+
+    # 1. Snapshot capture + persist on a big warmed single-process fleet.
+    traces = session_traces(cohort, RECOVERY_SNAPSHOT_SESSIONS, warmup + 4)
+    ids = [f"s{index:04d}" for index in range(len(traces))]
+    scheduler = StreamScheduler()
+    for index, session_id in enumerate(ids):
+        scheduler.open_session(
+            session_id, variants[index % len(variants)], session_id=session_id
+        )
+    for tick in range(warmup + 4):
+        scheduler.tick({sid: trace[tick] for sid, trace in zip(ids, traces)})
+    capture_timer, save_timer, load_timer = Timer(), Timer(), Timer()
+    snapshot_bytes = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpointer = SchedulerCheckpointer(tmp, keep=2)
+        for _ in range(repeats):
+            with capture_timer.lap():
+                snapshot = scheduler.snapshot()
+            with save_timer.lap():
+                path = checkpointer.save(snapshot)
+            with load_timer.lap():
+                checkpointer.load()
+            snapshot_bytes = path.stat().st_size
+    per_1k = 1000.0 / RECOVERY_SNAPSHOT_SESSIONS
+
+    # 2. Respawn-to-first-tick latency on a supervised 2-shard fabric.
+    fleet_traces = session_traces(cohort, RECOVERY_SESSIONS, warmup + RECOVERY_TICKS)
+    fleet_ids = [f"s{index:04d}" for index in range(len(fleet_traces))]
+    respawn_timer = Timer()
+    for _ in range(repeats):
+        fabric = ShardedScheduler(
+            n_shards=2,
+            supervision=SupervisorConfig(
+                snapshot_interval=RECOVERY_SNAPSHOT_INTERVAL, restart_backoff=0.0
+            ),
+        )
+        try:
+            for index, session_id in enumerate(fleet_ids):
+                fabric.open_session(
+                    session_id,
+                    variants[index % len(variants)],
+                    session_id=session_id,
+                )
+            # Run past the snapshot cadence so every worker holds a snapshot.
+            for tick in range(warmup + RECOVERY_SNAPSHOT_INTERVAL + 2):
+                fabric.tick(
+                    {sid: trace[tick % len(trace)] for sid, trace in zip(fleet_ids, fleet_traces)}
+                )
+            occupied = sorted({handle.shard for handle in fabric._sessions.values()})
+            fabric.kill_worker(occupied[0])
+            with respawn_timer.lap():
+                fabric.tick(
+                    {sid: trace[0] for sid, trace in zip(fleet_ids, fleet_traces)}
+                )
+            if sum(shard.restarts for shard in fabric._shards) < 1:
+                raise SystemExit("respawn benchmark: the kill never landed")
+        finally:
+            fabric.shutdown()
+
+    # 3. Steady-state overhead: supervised vs unsupervised sharded serving.
+    plain_timer, supervised_timer = Timer(), Timer()
+    plain_preds = supervised_preds = None
+    for _ in range(repeats):
+        fabric = ShardedScheduler(n_shards=2)
+        try:
+            _, plain_preds, _ = run_fleet(
+                fabric, variants, fleet_traces, warmup, RECOVERY_TICKS,
+                timer=plain_timer,
+            )
+        finally:
+            fabric.shutdown()
+        fabric = ShardedScheduler(
+            n_shards=2,
+            supervision=SupervisorConfig(snapshot_interval=RECOVERY_SNAPSHOT_INTERVAL),
+        )
+        try:
+            _, supervised_preds, _ = run_fleet(
+                fabric, variants, fleet_traces, warmup, RECOVERY_TICKS,
+                timer=supervised_timer,
+            )
+        finally:
+            fabric.shutdown()
+    if not np.array_equal(plain_preds, supervised_preds, equal_nan=True):
+        raise SystemExit(
+            "arming the supervisor perturbed sharded predictions (inertness violation)"
+        )
+    overhead_pct = (supervised_timer.best / plain_timer.best - 1.0) * 100.0
+
+    return {
+        "snapshot": {
+            "n_sessions": RECOVERY_SNAPSHOT_SESSIONS,
+            "capture_ms": capture_timer.best * 1e3,
+            "capture_ms_per_1k_sessions": capture_timer.best * 1e3 * per_1k,
+            "save_ms": save_timer.best * 1e3,
+            "load_ms": load_timer.best * 1e3,
+            "snapshot_bytes": snapshot_bytes,
+            "bytes_per_session": snapshot_bytes / RECOVERY_SNAPSHOT_SESSIONS,
+        },
+        "respawn": {
+            "n_sessions": RECOVERY_SESSIONS,
+            "n_shards": 2,
+            "snapshot_interval": RECOVERY_SNAPSHOT_INTERVAL,
+            "respawn_to_first_tick_ms": respawn_timer.best * 1e3,
+        },
+        "steady_state": {
+            "n_sessions": RECOVERY_SESSIONS,
+            "ticks": RECOVERY_TICKS,
+            "snapshot_interval": RECOVERY_SNAPSHOT_INTERVAL,
+            "plain_seconds": plain_timer.best,
+            "supervised_seconds": supervised_timer.best,
+            "overhead_pct": overhead_pct,
+            "target_overhead_pct": TARGET_RECOVERY_OVERHEAD_PCT,
+            "meets_target": bool(overhead_pct < TARGET_RECOVERY_OVERHEAD_PCT),
+            "prediction_parity": True,  # asserted above
+        },
+    }
+
+
 def run_smoke(n_workers: int) -> None:
     """CI smoke: sharded fleet == single-process fleet, bitwise.  No timing."""
     from repro.serving import ShardedScheduler
@@ -753,6 +914,21 @@ def main() -> None:
         f"{TARGET_OBS_OVERHEAD_PCT:g}%, predictions bitwise identical)"
     )
 
+    print(
+        f"timing crash recovery (snapshot on {RECOVERY_SNAPSHOT_SESSIONS} sessions, "
+        f"respawn + supervised overhead on {RECOVERY_SESSIONS})..."
+    )
+    recovery = bench_recovery(zoo, cohort, args.repeats)
+    print(
+        f"  snapshot {recovery['snapshot']['capture_ms_per_1k_sessions']:.1f} ms/1k "
+        f"sessions ({recovery['snapshot']['bytes_per_session']:.0f} B/session, save "
+        f"{recovery['snapshot']['save_ms']:.1f} ms, load "
+        f"{recovery['snapshot']['load_ms']:.1f} ms); respawn-to-first-tick "
+        f"{recovery['respawn']['respawn_to_first_tick_ms']:.1f} ms; supervised "
+        f"overhead {recovery['steady_state']['overhead_pct']:+.1f}% (target < "
+        f"{TARGET_RECOVERY_OVERHEAD_PCT:g}%, predictions bitwise identical)"
+    )
+
     print("checking streaming detector verdict parity (attacked replay)...")
     from check_parity import run_serving_smoke
 
@@ -798,6 +974,7 @@ def main() -> None:
         "family_scoring": family,
         "shard_sweep": shard_sweep,
         "observability": observability,
+        "recovery": recovery,
         "equivalence": {
             "max_prediction_gap": worst_gap,
             "tolerance": TOLERANCE,
@@ -830,6 +1007,12 @@ def main() -> None:
         raise SystemExit("incremental MAD-GAN scoring speedup target not met")
     if shard_sweep["gate_applicable"] and not shard_sweep["meets_target"]:
         raise SystemExit("sharded serving speedup target not met at 4 workers")
+    if not recovery["steady_state"]["meets_target"]:
+        raise SystemExit(
+            "supervised steady-state overhead exceeded "
+            f"{TARGET_RECOVERY_OVERHEAD_PCT:g}% at snapshot_interval="
+            f"{RECOVERY_SNAPSHOT_INTERVAL}"
+        )
 
 
 if __name__ == "__main__":

@@ -25,6 +25,12 @@ robustness contract the fault-injection layer promises:
   attack campaign may exceed its fault-free rate by at most
   :data:`FP_INFLATION_BOUND` — the new detector family must not trade its
   verdict-parity guarantees for fault-confused alarms.
+* **Recovery is bitwise resume.**  SIGKILLing shard workers mid-replay at 2
+  and 4 shards — with the full chaos mix still active — must produce a
+  replay bitwise identical to one that never crashed: the supervisor's
+  snapshot + journal recovery (``docs/recovery.md``) absorbs the kill, and
+  the ``recovery_bitwise_identical`` gate asserts the respawns actually
+  happened so a silent no-op kill cannot pass.
 
 Writes ``BENCH_chaos.json`` next to the repo root.  Usage::
 
@@ -119,6 +125,20 @@ FP_INFLATION_BOUND = 0.10
 #: (the fixture detects every episode in both); any slack here would let a
 #: fault-confused pipeline trade detections for false alarms silently.
 DETECTION_DROP_TOLERANCE = 0.0
+
+#: Kill-mix schedule, keyed by shard count: replay tick -> occupied-shard
+#: rank to SIGKILL.  The first kill lands mid-attack-episode; the 4-shard run
+#: adds a second, later kill so two independent recoveries compose.
+KILL_TICKS = {2: {25: 0}, 4: {25: 0, 33: 1}}
+#: Tiny personalized sibling zoo for the kill-mix: lane placement is the
+#: fabric's atomic unit, so the gate needs one lane per patient (the bench
+#: zoo is aggregate-only and would collapse onto a single shard).
+KILL_ZOO_KWARGS = dict(
+    predictor_kwargs=dict(epochs=1, hidden_size=8), train_personalized=True, seed=3
+)
+#: Supervisor arming for the kill-mix: snapshots every 8 worker ticks so the
+#: first kill recovers via snapshot + journal replay, fast backoff for CI.
+KILL_SUPERVISION_KWARGS = dict(snapshot_interval=8, restart_backoff=0.01)
 
 
 def build_fixture():
@@ -455,6 +475,135 @@ def run_suite(
     return report_dict, ok
 
 
+def run_kill_mix(n_ticks: int, fixture=None, verbose: bool = True) -> dict:
+    """SIGKILL shard workers mid-replay under the full chaos mix.
+
+    Replays the cohort once on a single-process scheduler (no kill) and once
+    per shard count in :data:`KILL_TICKS` on a supervised
+    :class:`~repro.serving.ShardedScheduler` whose workers are SIGKILLed at
+    the scheduled ticks, then requires the killed replays to be **bitwise
+    identical** to the uninterrupted one — samples, predictions, verdicts,
+    and the health summary — and the supervisor to have actually respawned
+    at least once per kill.  Returns the ``recovery_bitwise_identical`` gate
+    entry; never raises for an in-replay failure (that fails the gate).
+
+    ``fixture`` is an optional ``(cohort, zoo)`` pair; when omitted a cohort
+    plus a tiny personalized lane zoo are built directly (the suite's
+    aggregate forecaster is never needed here).
+    """
+    from repro.serving import ShardedScheduler, SupervisorConfig
+
+    def say(message: str) -> None:
+        if verbose:
+            print(message)
+
+    if fixture is None:
+        say("building kill-mix fixture (cohort + personalized lane zoo)...")
+        profiles = [make_patient_profile(subset, pid) for subset, pid in BENCH_PATIENTS]
+        cohort = SyntheticOhioT1DM(
+            train_days=2, test_days=1, seed=BENCH_SEED, profiles=profiles
+        ).generate()
+        lane_zoo = GlucoseModelZoo(**KILL_ZOO_KWARGS)
+        lane_zoo.fit(cohort)
+    else:
+        cohort, zoo = fixture
+        records = list(cohort)
+        if len({zoo.model_for(record.label).state_hash() for record in records}) > 1:
+            lane_zoo = zoo
+        else:
+            lane_zoo = GlucoseModelZoo(**KILL_ZOO_KWARGS)
+            lane_zoo.fit(cohort)
+    train_windows, _, _ = lane_zoo.dataset.from_cohort(cohort, split="train")
+    detectors = {
+        "knn": (KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :]), "sample")
+    }
+    health = HealthConfig()
+    ingress = IngressConfig(policy=IngressPolicy.CLAMP)
+
+    class KillSwitch:
+        """Passthrough shim that SIGKILLs occupied workers between ticks —
+        the same boundary a real mid-run crash is recovered at."""
+
+        def __init__(self, fabric, kill_at):
+            self._fabric = fabric
+            self._kill_at = dict(kill_at)
+            self._ticks = 0
+
+        def __getattr__(self, name):
+            return getattr(self._fabric, name)
+
+        def tick(self, samples, now=None):
+            rank = self._kill_at.get(self._ticks)
+            if rank is not None:
+                occupied = sorted(
+                    {handle.shard for handle in self._fabric._sessions.values()}
+                )
+                self._fabric.kill_worker(occupied[min(rank, len(occupied) - 1)])
+            self._ticks += 1
+            return self._fabric.tick(samples, now=now)
+
+    def replay_with(scheduler):
+        replayer = StreamReplayer(
+            lane_zoo,
+            detectors=detectors,
+            attacker=build_attacker(cohort, n_ticks),
+            scheduler=scheduler,
+            clocks=CHAOS_CLOCKS,
+            churn=CHAOS_CHURN,
+            faults=CHAOS_FAULTS,
+            divergence_watchdog=3,
+        )
+        return replayer.replay(cohort, split="test", max_ticks=n_ticks)
+
+    say("kill-mix reference replay (single process, no kill)...")
+    baseline_report = replay_with(StreamScheduler(health=health, ingress=ingress))
+    baseline = report_fingerprint(baseline_report)
+    baseline_health = baseline_report.health_summary()
+
+    gate = {"passed": True, "n_ticks": n_ticks, "shards": {}}
+    for n_shards, schedule in sorted(KILL_TICKS.items()):
+        kill_at = {tick: rank for tick, rank in schedule.items() if tick < n_ticks}
+        say(f"kill-mix at {n_shards} shards (SIGKILL at ticks {sorted(kill_at)})...")
+        fabric = ShardedScheduler(
+            n_shards=n_shards,
+            health=health,
+            ingress=ingress,
+            supervision=SupervisorConfig(**KILL_SUPERVISION_KWARGS),
+        )
+        try:
+            try:
+                report = replay_with(KillSwitch(fabric, kill_at))
+            except Exception as error:  # the fabric must absorb the kill
+                gate["passed"] = False
+                gate["shards"][str(n_shards)] = {
+                    "kill_ticks": sorted(kill_at),
+                    "error": "".join(
+                        traceback.format_exception_only(type(error), error)
+                    ).strip(),
+                }
+                say(f"  UNHANDLED EXCEPTION: {gate['shards'][str(n_shards)]['error']}")
+                continue
+            restarts = sum(shard.restarts for shard in fabric._shards)
+        finally:
+            fabric.shutdown()
+        identical = fingerprints_identical(report_fingerprint(report), baseline)
+        health_ok = report.health_summary() == baseline_health
+        respawned = restarts >= len(kill_at)
+        gate["shards"][str(n_shards)] = {
+            "kill_ticks": sorted(kill_at),
+            "respawns": restarts,
+            "bitwise_identical": bool(identical),
+            "health_identical": bool(health_ok),
+        }
+        if not (identical and health_ok and respawned):
+            gate["passed"] = False
+        say(
+            f"  respawns={restarts}, bitwise={'yes' if identical else 'NO'}, "
+            f"health={'yes' if health_ok else 'NO'}"
+        )
+    return gate
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -471,6 +620,10 @@ def main() -> int:
     report, ok = run_suite(
         n_ticks, with_madgan=not args.smoke, with_family=not args.smoke
     )
+    recovery = run_kill_mix(n_ticks)
+    report["gates"]["recovery_bitwise_identical"] = recovery
+    ok = ok and recovery["passed"]
+    report["all_gates_passed"] = bool(ok)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     print()

@@ -760,6 +760,249 @@ def run_obs_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str, 
     }
 
 
+def run_recovery_smoke(zoo: GlucoseModelZoo, cohort, n_ticks: int = 40) -> Dict[str, float]:
+    """Crash-recovery gate (tier-1 smoke): recovery is **bitwise** resume.
+
+    Pins the two halves of the recovery contract (``docs/recovery.md``):
+
+    1. **Snapshot/restore continuation** — a single-process
+       :class:`StreamScheduler` ticked partway, snapshotted through the
+       :class:`SchedulerCheckpointer` *file* layer (write → read back, so the
+       header/checksum path is on the gate), restored, and ticked to the end
+       produces samples, predictions, verdicts, and health timelines bitwise
+       identical to the uninterrupted scheduler.
+    2. **Kill-mix self-healing** — a sharded replay with the full chaos mix
+       active (benign faults, device clocks, churn, an online attacker,
+       health + ingress gating) and workers SIGKILLed mid-run at 2 and 4
+       shards is bitwise identical to the single-process no-kill replay:
+       fingerprints, tamper records, and the report rollup.  The supervisor
+       must actually respawn (the gate asserts restart counts), so a silent
+       "never died" pass is impossible.
+
+    Returns a report dict; raises AssertionError on the first violation.
+    """
+    import tempfile
+
+    from repro.detectors import KNNDistanceDetector
+    from repro.detectors.streaming import StreamingDetector
+    from repro.serving import (
+        AttackEpisode,
+        DeviceClockConfig,
+        HealthConfig,
+        IngressConfig,
+        IngressPolicy,
+        OnlineAttacker,
+        SchedulerCheckpointer,
+        SensorFaultConfig,
+        SessionChurnConfig,
+        ShardedScheduler,
+        StreamReplayer,
+        StreamScheduler,
+        SupervisorConfig,
+    )
+
+    records = list(cohort)
+    health = HealthConfig(degrade_after=1, quarantine_after=2, backoff_ticks=4)
+    ingress = IngressConfig(policy=IngressPolicy.REJECT)
+
+    # --- Part A: snapshot → checkpoint file → restore continues bitwise.
+    train_windows, _, _ = zoo.dataset.from_record(records[0], "train")
+    detector = KNNDistanceDetector(n_neighbors=5).fit(train_windows[::4, -1:, :])
+
+    def build_single():
+        scheduler = StreamScheduler(health=health, ingress=ingress)
+        for record in records:
+            adapters = {
+                "knn": StreamingDetector(
+                    detector, unit="sample", history=zoo.dataset.history
+                )
+            }
+            scheduler.open_session(
+                record.label, zoo.model_for(record.label), detectors=adapters
+            )
+        return scheduler
+
+    def tick_fingerprint(outcomes):
+        return tuple(
+            (
+                session_id,
+                outcome.tick,
+                outcome.sample.tobytes(),
+                None if outcome.prediction is None else float(outcome.prediction),
+                tuple(
+                    (name, verdict.warming, verdict.flagged, verdict.score)
+                    for name, verdict in sorted(outcome.verdicts.items())
+                ),
+                outcome.dropped,
+                outcome.ingress,
+            )
+            for session_id, outcome in sorted(outcomes.items())
+        )
+
+    split_at = max(4, n_ticks // 3)
+    feeds = [
+        {record.label: record.features("test")[tick] for record in records}
+        for tick in range(n_ticks)
+    ]
+    original = build_single()
+    for tick in range(split_at):
+        original.tick(feeds[tick], now=tick)
+    snapshot = original.snapshot()
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpointer = SchedulerCheckpointer(tmp, keep=2)
+        path = checkpointer.save(snapshot)
+        snapshot_bytes = path.stat().st_size
+        snapshot = checkpointer.load()
+    restored = StreamScheduler.restore(snapshot)
+    assert restored.n_sessions == original.n_sessions, "restore lost sessions"
+    assert restored.n_lanes == original.n_lanes, "restore lost lanes"
+    for tick in range(split_at, n_ticks):
+        live = tick_fingerprint(original.tick(feeds[tick], now=tick))
+        resumed = tick_fingerprint(restored.tick(feeds[tick], now=tick))
+        assert resumed == live, (
+            f"restored scheduler diverged from uninterrupted run at tick {tick}"
+        )
+    for session_id in sorted(original._sessions):
+        timelines = [
+            [
+                (event.tick, str(event.state), event.reason,
+                 event.delivered_at, event.backoff)
+                for event in scheduler._sessions[session_id].health.timeline
+            ]
+            for scheduler in (original, restored)
+        ]
+        assert timelines[0] == timelines[1], (
+            f"health timeline diverged after restore for session {session_id}"
+        )
+
+    # --- Part B: kill-mix — SIGKILL workers mid-replay under the full chaos
+    # mix; the supervisor's snapshot+journal recovery must keep the replay
+    # bitwise identical to a run that never crashed.
+    if len({zoo.model_for(record.label).state_hash() for record in records}) > 1:
+        lane_zoo = zoo
+    else:
+        lane_zoo = GlucoseModelZoo(
+            predictor_kwargs=dict(epochs=1, hidden_size=8),
+            train_personalized=True,
+            seed=3,
+        )
+        lane_zoo.fit(cohort)
+    lane_windows, _, _ = lane_zoo.dataset.from_cohort(cohort, split="train")
+    chaos_detector = KNNDistanceDetector(n_neighbors=5).fit(
+        lane_windows[::4, -1:, :]
+    )
+
+    faults = SensorFaultConfig(
+        bias_rate=0.05, spike_rate=0.08, malformed_rate=0.05, seed=11
+    )
+    clocks = DeviceClockConfig(drift=0.05, jitter=0.1, dropout=0.05, seed=19)
+    churn = SessionChurnConfig(join_stagger=2, disconnect_every=25, reconnect_after=2)
+    episodes = {records[0].label: [AttackEpisode(start=13, duration=12)]}
+
+    class KillSwitch:
+        """Passthrough shim that SIGKILLs occupied workers at chosen ticks.
+
+        The replayer drives it exactly like the fabric; only ``tick`` is
+        intercepted, so the kill lands between two ticks — the same boundary
+        a real mid-run crash is recovered at.
+        """
+
+        def __init__(self, fabric, kill_at):
+            self._fabric = fabric
+            self._kill_at = dict(kill_at)
+            self._ticks = 0
+
+        def __getattr__(self, name):
+            return getattr(self._fabric, name)
+
+        def tick(self, samples, now=None):
+            rank = self._kill_at.get(self._ticks)
+            if rank is not None:
+                occupied = sorted(
+                    {handle.shard for handle in self._fabric._sessions.values()}
+                )
+                self._fabric.kill_worker(occupied[min(rank, len(occupied) - 1)])
+            self._ticks += 1
+            return self._fabric.tick(samples, now=now)
+
+    def replay_with(scheduler):
+        attacker = OnlineAttacker(episodes)  # fresh: attackers accumulate records
+        replayer = StreamReplayer(
+            lane_zoo,
+            detectors={"knn": (chaos_detector, "sample")},
+            attacker=attacker,
+            scheduler=scheduler,
+            clocks=clocks,
+            churn=churn,
+            faults=faults,
+        )
+        report = replayer.replay(cohort, split="test", max_ticks=n_ticks)
+        tampers = [
+            (
+                record.session_id,
+                record.tick,
+                record.benign_cgm,
+                record.delivered_cgm,
+                record.eligible,
+                record.success,
+                record.queries,
+                record.warm_started,
+            )
+            for record in attacker.records
+        ]
+        return report, tampers
+
+    baseline_report, baseline_tampers = replay_with(
+        StreamScheduler(health=health, ingress=ingress)
+    )
+    baseline = _replay_fingerprint(baseline_report)
+    baseline_rollup = baseline_report.rollup("knn")
+
+    respawns = {}
+    for n_shards in (2, 4):
+        # Kill mid-attack-episode; at 4 shards kill a second worker later so
+        # two independent recoveries compose within one replay.
+        kill_at = {21: 0} if n_shards == 2 else {21: 0, 29: 1}
+        fabric = ShardedScheduler(
+            n_shards=n_shards,
+            health=health,
+            ingress=ingress,
+            supervision=SupervisorConfig(snapshot_interval=8, restart_backoff=0.01),
+        )
+        try:
+            report, tampers = replay_with(KillSwitch(fabric, kill_at))
+            restarts = sum(shard.restarts for shard in fabric._shards)
+        finally:
+            fabric.shutdown()
+        assert restarts >= len(kill_at), (
+            f"expected >= {len(kill_at)} respawns at n_shards={n_shards}, "
+            f"got {restarts} — the kill never landed"
+        )
+        fingerprint = _replay_fingerprint(report)
+        assert fingerprint == baseline, (
+            f"kill-mix replay diverged from no-kill baseline at n_shards={n_shards}"
+        )
+        assert tampers == baseline_tampers, (
+            f"tamper records diverged under kill-mix at n_shards={n_shards}"
+        )
+        rollup = report.rollup("knn")
+        assert rollup.keys() == baseline_rollup.keys() and all(
+            value == baseline_rollup[key]
+            or (np.isnan(value) and np.isnan(baseline_rollup[key]))
+            for key, value in rollup.items()
+        ), f"report rollup diverged under kill-mix at n_shards={n_shards}"
+        respawns[n_shards] = restarts
+
+    return {
+        "n_sessions": len(baseline),
+        "n_ticks": n_ticks,
+        "split_at": split_at,
+        "snapshot_bytes": snapshot_bytes,
+        "shard_counts": (2, 4),
+        "respawns": respawns,
+    }
+
+
 def main() -> int:
     print("building tiny fixture...")
     cohort, zoo = build_fixture()
@@ -833,6 +1076,17 @@ def main() -> int:
     print(
         f"  observer inert; {obs['n_series']} metric series bitwise identical "
         f"across shard counts {obs['shard_counts']}"
+    )
+    print("running recovery smoke (snapshot/restore + kill-mix self-healing)...")
+    try:
+        recovery = run_recovery_smoke(zoo, cohort)
+    except AssertionError as error:
+        print(f"RECOVERY GATE VIOLATION: {error}")
+        return 1
+    print(
+        f"  restore at tick {recovery['split_at']} continues bitwise "
+        f"({recovery['snapshot_bytes']} snapshot bytes); kill-mix respawns "
+        f"{recovery['respawns']} bitwise at shard counts {recovery['shard_counts']}"
     )
     print("all parity checks passed")
     return 0

@@ -20,6 +20,12 @@ LSTM-VAE's projection ring, the HMM's partial-alpha band.
 The adapter holds one ring per stream; the underlying detector object may be
 shared by many adapters, which is what lets the serving scheduler coalesce
 the per-tick views of every session into one batched ``predict`` call.
+
+Adapter state (ring, warming counter, carried incremental state — including
+MAD-GAN's ``InversionState`` RNG position) pickles exactly, so scheduler
+snapshots (``repro.serving.recovery``) resume streaming verdicts bitwise;
+the shared-detector aliasing above survives restore because the whole
+scheduler state is one pickle graph.
 """
 
 from __future__ import annotations

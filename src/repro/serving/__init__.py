@@ -37,6 +37,14 @@ windows.  This package is the serving layer that closes the gap:
     with deterministic session-id-ordered merges and bitwise parity to the
     single-process path (``scripts/check_parity.py`` gates it).  See
     ``docs/serving.md``.
+``recovery``
+    Crash recovery: :meth:`StreamScheduler.snapshot` / ``restore`` capture
+    and rebuild the complete deterministic scheduler state (resume is
+    **bitwise** vs the uninterrupted run), :class:`SchedulerCheckpointer`
+    persists versioned + checksummed snapshot files, and
+    :class:`SupervisorConfig` arms the shard fabric's self-healing
+    supervisor (respawn + snapshot restore + journal replay).  See
+    ``docs/recovery.md``.
 
 Every streamed prediction is pinned to the offline fast path
 (:meth:`GlucosePredictor.predict`) within 1e-10, and streaming detector
@@ -72,11 +80,17 @@ from repro.serving.replay import (
     ReplaySessionTrace,
     StreamReplayer,
 )
+from repro.serving.recovery import (
+    SchedulerCheckpointer,
+    SchedulerSnapshot,
+    SnapshotError,
+)
 from repro.serving.shard import (
     ShardDeadError,
     ShardSessionHandle,
     ShardWorkerError,
     ShardedScheduler,
+    SupervisorConfig,
 )
 
 __all__ = [
@@ -106,8 +120,12 @@ __all__ = [
     "ReplayReport",
     "ReplaySessionTrace",
     "StreamReplayer",
+    "SchedulerCheckpointer",
+    "SchedulerSnapshot",
+    "SnapshotError",
     "ShardDeadError",
     "ShardSessionHandle",
     "ShardWorkerError",
     "ShardedScheduler",
+    "SupervisorConfig",
 ]

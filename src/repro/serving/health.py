@@ -25,6 +25,12 @@ system:
 The scheduler threads all of this through :meth:`StreamScheduler.tick`;
 with no health/ingress configured the scheduler byte-for-byte reproduces the
 pre-robustness behavior (``tests/test_serving_faults.py`` pins parity).
+
+:class:`SessionHealth` — including its transition timeline and a live
+quarantine-backoff countdown — is part of the state captured by scheduler
+snapshots (``repro.serving.recovery``): a session restored mid-quarantine
+resumes the same countdown and re-admits on the same tick it would have
+without the crash (``tests/test_recovery.py`` pins this).
 """
 
 from __future__ import annotations

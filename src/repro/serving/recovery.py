@@ -1,0 +1,411 @@
+"""Crash recovery for the serving fabric: deterministic scheduler snapshots.
+
+The repo's signature discipline is bitwise parity between every fast path and
+its reference twin.  This module extends that contract across process death:
+**a recovered run is bit-for-bit identical to a run that never crashed**.
+
+Three layers:
+
+``capture_scheduler`` / ``restore_scheduler``
+    Snapshot a live :class:`~repro.serving.scheduler.StreamScheduler` into a
+    :class:`SchedulerSnapshot` and rebuild an equivalent scheduler from it.
+    The snapshot captures the *complete* deterministic state — per-session
+    sample rings, lane slot allocators and recurrent stream states
+    (``BiLSTMStreamState``), streaming-detector adapter state (LSTM-VAE
+    projection rings, HMM alpha bands, MAD-GAN ``InversionState``),
+    ``SessionHealth`` machines with their backoff depth, and every
+    component's ``RandomState`` position (numpy ``Generator`` objects pickle
+    their exact bit-stream position).  Model weights are content-addressed:
+    each lane's predictor is serialized **once** under its ``state_hash``
+    lane key and every session that shares the lane references the same
+    payload — sessions never duplicate weights.  Restore re-validates each
+    rehydrated checkpoint against its lane key
+    (:func:`repro.serving.health.validate_checkpoint`), so a corrupted model
+    payload is rejected rather than silently served.
+
+``SchedulerCheckpointer``
+    Durable snapshot files: a versioned, magic-tagged header with a SHA-256
+    body digest, written to a temporary file and atomically renamed into
+    place (a crash mid-write never leaves a half-snapshot under the real
+    name).  ``load`` detects truncation and corruption and raises
+    :class:`SnapshotError` instead of returning garbage.
+
+Aliasing and tokens
+    The whole mutable state is serialized as **one** pickle graph, so object
+    aliasing survives: two sessions sharing one detector (and therefore one
+    RNG stream) come back still sharing it, which is what keeps the
+    scheduler's ``id()``-based detector batching and the detector's single
+    RNG draw order bitwise stable after restore.  Objects that must *not*
+    travel — the scheduler itself (sessions hold a back-reference), the
+    :class:`~repro.obs.trace.Observer`, and each lane predictor — are
+    replaced by persistent-id tokens and rewired to the restored scheduler's
+    own instances on load.  The same token mechanism is what the shard layer
+    uses to ship detectors by reference (:mod:`repro.serving.shard` imports
+    :func:`dumps_with_refs` / :func:`loads_with_refs` from here).
+
+Snapshots are taken at tick boundaries only; mid-tick transients
+(``ColdBatchPlan``, the in-flight admission lists) never cross a snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serving.health import validate_checkpoint
+from repro.serving.scheduler import StreamScheduler
+
+#: Pickle protocol for snapshot payloads (shared with the shard pipe).
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Current snapshot schema version; bumped on incompatible layout changes.
+SNAPSHOT_VERSION = 1
+
+#: Magic prefix of a checkpoint file (8 bytes, includes the format revision).
+SNAPSHOT_MAGIC = b"RPROSNP1"
+
+#: Fixed-size file header: magic + u32 version + u64 body length + SHA-256.
+_HEADER = struct.Struct("<8sIQ32s")
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be captured, validated, or restored."""
+
+
+# --------------------------------------------------------------------- tokens
+def dumps_with_refs(obj: Any, ref_by_id: Dict[int, Tuple[object, Any]]) -> bytes:
+    """Pickle ``obj`` replacing registered objects with persistent-id tokens.
+
+    ``ref_by_id`` maps ``id(candidate) -> (candidate, token)``; any object in
+    the graph whose identity matches is emitted as its token instead of by
+    value.  The identity check guards against ``id`` reuse after GC.
+    """
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=PICKLE_PROTOCOL)
+
+    def persistent_id(candidate):
+        entry = ref_by_id.get(id(candidate))
+        if entry is not None and entry[0] is candidate:
+            return entry[1]
+        return None
+
+    pickler.persistent_id = persistent_id
+    pickler.dump(obj)
+    return buffer.getvalue()
+
+
+def loads_with_refs(data: bytes, registry: Dict[Any, object]) -> Any:
+    """Unpickle ``data`` resolving persistent-id tokens through ``registry``."""
+    unpickler = pickle.Unpickler(io.BytesIO(data))
+    unpickler.persistent_load = registry.__getitem__
+    return unpickler.load()
+
+
+# ------------------------------------------------------------------- snapshot
+@dataclass
+class SchedulerSnapshot:
+    """A complete, self-contained scheduler state at one tick boundary.
+
+    Attributes
+    ----------
+    version:
+        Schema version (:data:`SNAPSHOT_VERSION`); restore rejects others.
+    config:
+        The ``StreamScheduler`` constructor kwargs (fast-path flag, health
+        and ingress configs, validation and coalescing switches) — frozen
+        dataclasses, included by value.
+    models:
+        Content-addressed weights: ``lane_key (state_hash) -> pickled
+        predictor``, one payload per lane regardless of session count.
+    state:
+        One pickle graph of ``{"sessions", "lanes", "extra"}`` with
+        scheduler / observer / predictor references tokenized out.
+    obs_series:
+        Cumulative :meth:`repro.obs.metrics.MetricsRegistry.snapshot` of the
+        scheduler's observer at capture time, or None when unobserved.
+    meta:
+        Caller bookkeeping carried verbatim (the shard layer stores its tick
+        counter and shipped-registry keys here so the supervisor can resync
+        without unpickling ``state``).
+    """
+
+    version: int
+    config: Dict[str, Any]
+    models: Dict[str, bytes]
+    state: bytes
+    obs_series: Optional[Dict[str, dict]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def n_sessions_hint(self) -> int:
+        """Best-effort session count from ``meta`` (0 when not recorded)."""
+        return int(self.meta.get("n_sessions", 0))
+
+
+def capture_scheduler(
+    scheduler: StreamScheduler,
+    extra: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> SchedulerSnapshot:
+    """Snapshot ``scheduler`` (and optional ``extra`` state) at a tick boundary.
+
+    ``extra`` is woven into the *same* pickle graph as the sessions, so any
+    aliasing between the two survives restore — the shard worker passes its
+    ``models`` / ``detectors`` registries here and gets back registries whose
+    entries are identical (``is``) to the objects inside the restored
+    sessions.  An ``extra["models"]`` mapping of ``lane_key -> predictor`` is
+    additionally content-addressed like lane predictors (covers lanes that
+    are currently empty but still resident in a worker registry).
+    """
+    ref_by_id: Dict[int, Tuple[object, Any]] = {}
+
+    def register(obj: object, token: Any) -> None:
+        ref_by_id[id(obj)] = (obj, token)
+
+    register(scheduler, "scheduler")
+    if scheduler.obs is not None:
+        register(scheduler.obs, "obs")
+
+    models: Dict[str, bytes] = {}
+
+    def register_model(lane_key: str, predictor: object) -> None:
+        if id(predictor) in ref_by_id:
+            return
+        if lane_key not in models:
+            models[lane_key] = pickle.dumps(predictor, protocol=PICKLE_PROTOCOL)
+        register(predictor, ("model", lane_key))
+
+    for lane_key, lane in scheduler._lanes.items():
+        register_model(lane_key, lane.predictor)
+    for session in scheduler._sessions.values():
+        # A session opened with its own (hash-equal) predictor object still
+        # serializes by lane reference: weights are stored once per lane.
+        register_model(session._lane_key, session.predictor)
+    if extra is not None:
+        for lane_key, predictor in extra.get("models", {}).items():
+            register_model(lane_key, predictor)
+
+    state = dumps_with_refs(
+        {
+            "sessions": scheduler._sessions,
+            "lanes": scheduler._lanes,
+            "extra": extra,
+        },
+        ref_by_id,
+    )
+    snapshot_meta = {"n_sessions": len(scheduler._sessions)}
+    if meta:
+        snapshot_meta.update(meta)
+    return SchedulerSnapshot(
+        version=SNAPSHOT_VERSION,
+        config=dict(
+            use_single_fast_path=scheduler.use_single_fast_path,
+            health=scheduler.health,
+            ingress=scheduler.ingress,
+            validate_checkpoints=scheduler.validate_checkpoints,
+            coalesce_cold_batches=scheduler.coalesce_cold_batches,
+        ),
+        models=models,
+        state=state,
+        obs_series=(
+            scheduler.obs.registry.snapshot() if scheduler.obs is not None else None
+        ),
+        meta=snapshot_meta,
+    )
+
+
+def restore_scheduler(
+    snapshot: SchedulerSnapshot, obs=None
+) -> Tuple[StreamScheduler, Optional[Dict[str, Any]]]:
+    """Rebuild a scheduler from ``snapshot``; returns ``(scheduler, extra)``.
+
+    The restored scheduler's subsequent ticks are bitwise equal to the
+    uninterrupted original's (pickle round-trips preserve float64 bits and
+    numpy ``Generator`` positions exactly).  Every model payload is
+    re-validated against its content-address before any session touches it;
+    a weight payload that no longer hashes to its lane key (or carries
+    non-finite values) raises :class:`~repro.serving.health.CheckpointError`.
+
+    ``obs`` becomes the restored scheduler's observer.  When given, the
+    snapshot's cumulative metric series is absorbed into it so counters
+    continue from their pre-crash values instead of restarting at zero.
+    """
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {snapshot.version} is not supported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    scheduler = StreamScheduler(obs=obs, **snapshot.config)
+    registry: Dict[Any, object] = {"scheduler": scheduler, "obs": obs}
+    for lane_key, payload in snapshot.models.items():
+        try:
+            predictor = pickle.loads(payload)
+        except Exception as exc:
+            raise SnapshotError(
+                f"model payload for lane {lane_key!r} failed to deserialize: {exc}"
+            ) from exc
+        validate_checkpoint(predictor, expected_hash=lane_key)
+        registry[("model", lane_key)] = predictor
+    try:
+        state = loads_with_refs(snapshot.state, registry)
+    except KeyError as exc:
+        raise SnapshotError(f"snapshot references unknown token {exc}") from exc
+    scheduler._sessions = state["sessions"]
+    scheduler._lanes = state["lanes"]
+    if obs is not None and snapshot.obs_series is not None:
+        obs.registry.absorb(snapshot.obs_series)
+    return scheduler, state["extra"]
+
+
+# ---------------------------------------------------------------- checkpointer
+def write_snapshot(snapshot: SchedulerSnapshot, path) -> Path:
+    """Serialize ``snapshot`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    body = pickle.dumps(snapshot, protocol=PICKLE_PROTOCOL)
+    header = _HEADER.pack(
+        SNAPSHOT_MAGIC, SNAPSHOT_VERSION, len(body), hashlib.sha256(body).digest()
+    )
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_snapshot(path) -> SchedulerSnapshot:
+    """Load a snapshot file, rejecting truncation and corruption.
+
+    Raises :class:`SnapshotError` on a bad magic, unsupported version, short
+    body (truncated write), or SHA-256 mismatch (bit rot / tampering).
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise SnapshotError(f"{path}: truncated snapshot header")
+        magic, version, body_len, digest = _HEADER.unpack(header)
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(f"{path}: not a scheduler snapshot (bad magic)")
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{path}: snapshot version {version} is not supported "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        body = handle.read(body_len + 1)
+    if len(body) < body_len:
+        raise SnapshotError(
+            f"{path}: truncated snapshot body ({len(body)} of {body_len} bytes)"
+        )
+    if len(body) > body_len:
+        raise SnapshotError(f"{path}: trailing bytes after snapshot body")
+    if hashlib.sha256(body).digest() != digest:
+        raise SnapshotError(f"{path}: snapshot checksum mismatch (corrupted)")
+    snapshot = pickle.loads(body)
+    if not isinstance(snapshot, SchedulerSnapshot):
+        raise SnapshotError(f"{path}: payload is not a SchedulerSnapshot")
+    return snapshot
+
+
+class SchedulerCheckpointer:
+    """Rotating, durable snapshot files for one scheduler.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live; created on first save.
+    basename:
+        File stem; files are named ``{basename}-{seq:08d}.snap`` with a
+        monotonically increasing sequence number.
+    keep:
+        How many most-recent checkpoints to retain (older ones are pruned
+        after each successful save; at least 1).
+    """
+
+    SUFFIX = ".snap"
+
+    def __init__(self, directory, basename: str = "scheduler", keep: int = 2):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.basename = str(basename)
+        self.keep = int(keep)
+
+    # ------------------------------------------------------------------ paths
+    def _paths(self):
+        if not self.directory.is_dir():
+            return []
+        prefix = f"{self.basename}-"
+        return sorted(
+            entry
+            for entry in self.directory.iterdir()
+            if entry.name.startswith(prefix) and entry.name.endswith(self.SUFFIX)
+        )
+
+    def latest(self) -> Optional[Path]:
+        """Path of the newest checkpoint, or None when none exist."""
+        paths = self._paths()
+        return paths[-1] if paths else None
+
+    # ------------------------------------------------------------------- save
+    def save(self, snapshot: SchedulerSnapshot) -> Path:
+        """Write ``snapshot`` as the next checkpoint in the rotation."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        existing = self._paths()
+        if existing:
+            last = existing[-1].name
+            sequence = int(last[len(self.basename) + 1 : -len(self.SUFFIX)]) + 1
+        else:
+            sequence = 0
+        path = self.directory / f"{self.basename}-{sequence:08d}{self.SUFFIX}"
+        write_snapshot(snapshot, path)
+        for stale in self._paths()[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort pruning
+                pass
+        return path
+
+    # ------------------------------------------------------------------- load
+    def load(self, path=None) -> SchedulerSnapshot:
+        """Load ``path`` (default: the newest checkpoint) with full validation."""
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise SnapshotError(
+                    f"no {self.basename!r} checkpoints under {self.directory}"
+                )
+        return read_snapshot(path)
+
+
+__all__ = [
+    "PICKLE_PROTOCOL",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SchedulerCheckpointer",
+    "SchedulerSnapshot",
+    "SnapshotError",
+    "capture_scheduler",
+    "dumps_with_refs",
+    "loads_with_refs",
+    "read_snapshot",
+    "restore_scheduler",
+    "write_snapshot",
+]

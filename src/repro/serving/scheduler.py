@@ -253,6 +253,40 @@ class StreamScheduler:
         """
         return self.obs.registry.snapshot() if self.obs is not None else None
 
+    # --------------------------------------------------------------- recovery
+    def snapshot(self, extra=None, meta=None):
+        """Capture the complete deterministic state at a tick boundary.
+
+        Returns a :class:`~repro.serving.recovery.SchedulerSnapshot` from
+        which :meth:`restore` rebuilds a scheduler whose subsequent ticks
+        are **bitwise equal** to this scheduler's (sample rings, lane stream
+        states, detector adapter/inversion states, health machines with
+        backoff depth, and RNG positions all travel; model weights are
+        content-addressed once per lane).  Call between ticks only — the
+        resume-parity contract is defined at tick boundaries
+        (``docs/recovery.md``).  ``extra`` / ``meta`` are for embedders like
+        the shard worker (see :func:`repro.serving.recovery.capture_scheduler`).
+        """
+        from repro.serving.recovery import capture_scheduler
+
+        return capture_scheduler(self, extra=extra, meta=meta)
+
+    @classmethod
+    def restore(cls, snapshot, obs=None) -> "StreamScheduler":
+        """Rebuild a scheduler from a :meth:`snapshot` capture.
+
+        ``obs`` becomes the restored scheduler's observer; the snapshot's
+        cumulative metric series is absorbed into it so counters continue
+        from their pre-crash values.  Model payloads are re-validated
+        against their content-address
+        (:func:`~repro.serving.health.validate_checkpoint`) before any
+        session is served.
+        """
+        from repro.serving.recovery import restore_scheduler
+
+        scheduler, _ = restore_scheduler(snapshot, obs=obs)
+        return scheduler
+
     # ----------------------------------------------------------------- health
     def _quarantine_session(self, session: PatientSession) -> None:
         """Reset a quarantined session's per-stream state (it may be corrupt)."""

@@ -12,6 +12,12 @@ allocates anything that grows with the stream length.
 Sessions are created by :meth:`StreamScheduler.open_session` and advanced by
 :meth:`StreamScheduler.tick`; :meth:`PatientSession.update` is the one-session
 convenience wrapper over the scheduler tick.
+
+Everything a session holds — ring, counters, health, detector adapters — is
+plain picklable state with no live OS resources, which is what lets
+``repro.serving.recovery`` capture sessions into scheduler snapshots and
+restore them bit-for-bit (``docs/recovery.md``); the predictor itself is
+deduplicated out of the pickle graph by ``state_hash``.
 """
 
 from __future__ import annotations

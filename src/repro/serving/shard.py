@@ -35,6 +35,31 @@ exposes the same ``open_session`` / ``tick`` / ``close_session`` API and:
   naming the dead shard — while every other shard keeps serving outputs
   bitwise-identical to running solo.
 
+Crash recovery (opt-in supervision)
+-----------------------------------
+Passing ``supervision=SupervisorConfig(...)`` upgrades worker death from
+terminal to recoverable.  Workers piggyback a full deterministic
+:class:`~repro.serving.recovery.SchedulerSnapshot` of their shard on every
+``snapshot_interval``-th tick reply, and the parent journals every
+state-mutating command (model/detector/open/close/tick) sent since the last
+snapshot.  When a worker dies — EOF on its pipe, a broken send, or a
+``request_timeout`` expiry (the stuck worker is force-killed first) — the
+supervisor respawns the process with bounded exponential backoff, restores
+the last snapshot, replays the journal verbatim (re-deriving detector RNG
+streams to their exact pre-crash positions), and re-sends the one in-flight
+command the dead worker never acknowledged.  The result is the repo's
+strongest robustness contract: **a run with workers killed mid-stream is
+bitwise identical to a run that never crashed** — survivors untouched,
+victims resumed exactly (``check_parity.run_recovery_smoke`` and the
+``chaos_replay.py`` kill-mix scenarios gate it).  A ``max_restarts``
+circuit breaker bounds the respawn loop; a shard that exhausts it falls
+back to the terminal dropped-ticks behavior above.  With
+``snapshot_interval=None`` the supervisor still respawns but rehydrates by
+re-opening every session fresh (PR 6's quarantine/re-warm semantics: warm
+stream state is lost, verdicts restart from the warmup phase).  Without
+``supervision`` the fabric behaves exactly as before.  See
+``docs/recovery.md``.
+
 RNG boundary rule
 -----------------
 ``RandomState(existing)`` shares one stream in-process, but separately
@@ -64,11 +89,11 @@ single-process.
 
 from __future__ import annotations
 
-import io
 import logging
 import multiprocessing
 import pickle
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -76,6 +101,13 @@ import numpy as np
 from repro.glucose.predictor import GlucosePredictor
 from repro.obs import MetricsRegistry, Observer
 from repro.serving.health import HealthConfig, IngressConfig, validate_checkpoint
+from repro.serving.recovery import (
+    SchedulerSnapshot,
+    capture_scheduler,
+    dumps_with_refs as _dumps_with_refs,
+    loads_with_refs as _loads_with_refs,
+    restore_scheduler,
+)
 from repro.serving.scheduler import StreamScheduler
 from repro.serving.session import SessionTick
 from repro.utils.rng import RandomState, hash_string
@@ -83,7 +115,66 @@ from repro.utils.timeseries import SampleRing
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
+#: Bounded wait (seconds) for a worker that should be exiting or replying:
+#: the shutdown ack poll, process joins, and the obs-refresh round-trip.
+#: Module-level so tests can shrink it when exercising the escalation path.
+_STUCK_WORKER_TIMEOUT = 5.0
+
+#: Sentinel for "use the supervisor's request_timeout" in reply waits.
+_DEFAULT_TIMEOUT = object()
+
+#: Command kinds that mutate worker state and therefore enter the journal.
+_JOURNALED_COMMANDS = frozenset({"model", "detector", "open", "close", "tick"})
+
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Worker supervision policy for :class:`ShardedScheduler`.
+
+    Attributes
+    ----------
+    snapshot_interval:
+        Workers piggyback a deterministic shard snapshot on every N-th tick
+        reply; the parent journals commands between snapshots, so a crashed
+        worker resumes **bitwise exactly** (snapshot + journal replay +
+        re-sent in-flight command).  ``None`` disables snapshots and
+        journaling: respawned workers are rehydrated by re-opening every
+        session fresh (PR 6 re-warm semantics — warm state lost).
+    max_restarts:
+        Circuit breaker: total respawns allowed per shard before its death
+        becomes terminal (sessions degrade to dropped ticks, the
+        unsupervised behavior).
+    restart_backoff / backoff_factor / max_backoff:
+        Bounded exponential sleep before each respawn:
+        ``min(restart_backoff * backoff_factor**(n-1), max_backoff)``
+        seconds for the n-th restart of a shard.
+    request_timeout:
+        Per-reply wall-clock budget in seconds.  A worker that exceeds it is
+        presumed hung, force-killed (``recovery.forced_kills_total``), and
+        recovered like any other death.  ``None`` (default) waits forever —
+        death is then detected by pipe EOF only.
+    """
+
+    snapshot_interval: Optional[int] = 32
+    max_restarts: int = 3
+    restart_backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    request_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.snapshot_interval is not None and self.snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1 or None")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.restart_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive or None")
 
 
 class ShardWorkerError(RuntimeError):
@@ -107,29 +198,9 @@ class ShardDeadError(RuntimeError):
     """The facade needed a worker that is no longer alive."""
 
 
-# --------------------------------------------------------------------- pickling
-def _dumps_with_refs(obj, ref_by_id: Dict[int, Tuple[object, int]]) -> bytes:
-    """Pickle ``obj`` replacing registered shared objects with integer refs."""
-    buffer = io.BytesIO()
-    pickler = pickle.Pickler(buffer, protocol=_PICKLE_PROTOCOL)
-
-    def persistent_id(candidate):
-        entry = ref_by_id.get(id(candidate))
-        if entry is not None and entry[0] is candidate:
-            return entry[1]
-        return None
-
-    pickler.persistent_id = persistent_id
-    pickler.dump(obj)
-    return buffer.getvalue()
-
-
-def _loads_with_refs(data: bytes, registry: Dict[int, object]):
-    """Unpickle, resolving integer refs against the worker's local registry."""
-    unpickler = pickle.Unpickler(io.BytesIO(data))
-    unpickler.persistent_load = registry.__getitem__
-    return unpickler.load()
-
+# The persistent-id pickling helpers live in repro.serving.recovery now
+# (snapshots and the shard pipe share one token mechanism); the old private
+# names are kept as aliases for existing callers and tests.
 
 # ------------------------------------------------------------------ worker side
 def _rederive_worker_rng(obj, shard_index: int) -> None:
@@ -146,7 +217,13 @@ def _rederive_worker_rng(obj, shard_index: int) -> None:
         obj._rng = rng.derive(f"shard:{shard_index}")
 
 
-def _worker_main(shard_index: int, conn, scheduler_kwargs: dict, obs_enabled: bool = False) -> None:
+def _worker_main(
+    shard_index: int,
+    conn,
+    scheduler_kwargs: dict,
+    obs_enabled: bool = False,
+    snapshot_interval: Optional[int] = None,
+) -> None:
     """Run one shard: a private StreamScheduler driven by pipe commands.
 
     With ``obs_enabled`` the worker owns its own :class:`Observer`; every
@@ -154,6 +231,14 @@ def _worker_main(shard_index: int, conn, scheduler_kwargs: dict, obs_enabled: bo
     recorded since the previous reply (the parent stamps them with this
     shard's index).  Obs shipping rides the existing replies — no extra
     round-trips on the hot path.
+
+    With ``snapshot_interval`` set, every N-th successful tick reply also
+    carries a :class:`~repro.serving.recovery.SchedulerSnapshot` of the
+    whole shard (scheduler + model/detector registries woven into one
+    pickle graph, so shared objects keep aliasing on restore).  The tick
+    counter survives restore via snapshot ``meta``, keeping the snapshot
+    cadence — and therefore the recovered run's command stream — identical
+    to an uninterrupted worker's.
     """
     import traceback as traceback_module
 
@@ -161,6 +246,7 @@ def _worker_main(shard_index: int, conn, scheduler_kwargs: dict, obs_enabled: bo
     scheduler = StreamScheduler(obs=observer, **scheduler_kwargs)
     models: Dict[str, GlucosePredictor] = {}
     detectors: Dict[int, object] = {}
+    ticks_seen = 0
 
     while True:
         try:
@@ -212,6 +298,22 @@ def _worker_main(shard_index: int, conn, scheduler_kwargs: dict, obs_enabled: bo
                     if (session := scheduler.session(session_id)).health is not None
                     and session.health.blocked
                 }
+                ticks_seen += 1
+                snapshot = None
+                if snapshot_interval is not None and ticks_seen % snapshot_interval == 0:
+                    # Tick boundaries are the only legal snapshot points;
+                    # capture is pure reads, so a supervised-but-uncrashed
+                    # run stays bitwise identical to an unsupervised one.
+                    snapshot = capture_scheduler(
+                        scheduler,
+                        extra={"models": models, "detectors": detectors},
+                        meta={
+                            "ticks_seen": ticks_seen,
+                            "shard_index": shard_index,
+                            "lane_keys": sorted(models),
+                            "detector_refs": sorted(detectors),
+                        },
+                    )
                 conn.send(
                     (
                         "ok",
@@ -220,9 +322,22 @@ def _worker_main(shard_index: int, conn, scheduler_kwargs: dict, obs_enabled: bo
                             "blocked": blocked,
                             "elapsed": elapsed,
                             "obs": observer.drain() if observer is not None else None,
+                            "snapshot": snapshot,
                         },
                     )
                 )
+            elif command == "restore":
+                _, snap = message
+                # Rebuild the whole shard from a supervisor-held snapshot.
+                # No RNG re-derivation here: the snapshot graph already
+                # holds each detector's *derived, advanced* worker stream —
+                # re-deriving would rewind it and break resume parity.
+                scheduler, extra = restore_scheduler(snap, obs=observer)
+                extra = extra or {}
+                models = extra.get("models") or {}
+                detectors = extra.get("detectors") or {}
+                ticks_seen = int(snap.meta.get("ticks_seen", 0))
+                conn.send(("ok", None))
             elif command == "obs":
                 conn.send(("ok", observer.drain() if observer is not None else None))
             elif command == "close":
@@ -346,7 +461,20 @@ class ShardSessionHandle:
 class _Shard:
     """One worker process plus its parent-side bookkeeping."""
 
-    __slots__ = ("index", "process", "conn", "alive", "shipped_models", "shipped_detectors", "last_tick_latency", "obs_series")
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "alive",
+        "shipped_models",
+        "shipped_detectors",
+        "last_tick_latency",
+        "obs_series",
+        "snapshot",
+        "journal",
+        "restarts",
+        "open_specs",
+    )
 
     def __init__(self, index: int, process, conn):
         self.index = index
@@ -359,6 +487,16 @@ class _Shard:
         # Latest cumulative series snapshot shipped by the worker (each tick
         # reply replaces it; absorbed into the parent registry exactly once).
         self.obs_series: Optional[dict] = None
+        # --- supervision state (populated only with a SupervisorConfig) ---
+        # Latest worker-piggybacked shard snapshot, if any.
+        self.snapshot: Optional[SchedulerSnapshot] = None
+        # Acked state-mutating commands since that snapshot (or since birth
+        # while none exists yet), replayed verbatim after a respawn.
+        self.journal: List[tuple] = []
+        # Respawns consumed against the max_restarts circuit breaker.
+        self.restarts = 0
+        # session_id -> re-open recipe for the snapshotless re-warm fallback.
+        self.open_specs: Dict[str, dict] = {}
 
 
 class ShardedScheduler:
@@ -386,15 +524,24 @@ class ShardedScheduler:
         snapshot (:meth:`obs_snapshot`) equals the single-process snapshot
         bitwise for any shard count — the metric half of the parity gate.
         ``None`` (the default) is bitwise inert.
+    supervision:
+        Optional :class:`SupervisorConfig`.  When set, dead workers are
+        respawned (bounded exponential backoff, ``max_restarts`` circuit
+        breaker) and rehydrated from their last piggybacked snapshot plus a
+        journal replay — making the recovered run **bitwise identical** to
+        one that never crashed (see the module-level *Crash recovery*
+        section and ``docs/recovery.md``).  ``None`` (the default) keeps
+        worker death terminal, exactly the pre-supervision behavior.
 
     Notes
     -----
     ``tick`` merges shard results **sorted by session id** — the returned
     mapping is identical (bitwise, including order) for any shard count.
-    A worker that dies mid-fleet only degrades its own sessions: they
-    receive ``dropped`` ticks with an ``error`` naming the dead shard, and
-    the surviving shards' outputs are unchanged.  Use the facade as a
-    context manager (or call :meth:`shutdown`) to reap the workers.
+    Without supervision, a worker that dies mid-fleet only degrades its own
+    sessions: they receive ``dropped`` ticks with an ``error`` naming the
+    dead shard, and the surviving shards' outputs are unchanged.  Use the
+    facade as a context manager (or call :meth:`shutdown`) to reap the
+    workers.
     """
 
     def __init__(
@@ -406,6 +553,7 @@ class ShardedScheduler:
         validate_checkpoints: bool = False,
         start_method: Optional[str] = None,
         obs: Optional[Observer] = None,
+        supervision: Optional[SupervisorConfig] = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -416,25 +564,21 @@ class ShardedScheduler:
         self.health = health
         self.start_method = start_method
         self.obs = obs
+        self.supervision = supervision
+        self._snapshot_interval = (
+            supervision.snapshot_interval if supervision is not None else None
+        )
         self._obs_absorbed = False
-        scheduler_kwargs = dict(
+        self._scheduler_kwargs = dict(
             use_single_fast_path=use_single_fast_path,
             health=health,
             ingress=ingress,
             validate_checkpoints=validate_checkpoints,
         )
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
         self._shards: List[_Shard] = []
         for index in range(self.n_shards):
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_worker_main,
-                args=(index, child_conn, scheduler_kwargs, obs is not None),
-                daemon=True,
-                name=f"repro-shard-{index}",
-            )
-            process.start()
-            child_conn.close()
+            process, parent_conn = self._spawn_worker(index)
             self._shards.append(_Shard(index, process, parent_conn))
         self._sessions: Dict[str, ShardSessionHandle] = {}
         self._lane_keys: set = set()
@@ -444,7 +588,29 @@ class ShardedScheduler:
         # persistent-id pickling; holding the object keeps ids stable.
         self._detector_refs: Dict[int, Tuple[object, int]] = {}
         self._next_detector_ref = 0
+        # lane_key -> parent-side predictor (supervised fabrics only): the
+        # re-warm fallback re-ships weights from here after a respawn.
+        self._lane_predictors: Dict[str, GlucosePredictor] = {}
         self._closed = False
+
+    def _spawn_worker(self, index: int):
+        """Start one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                child_conn,
+                self._scheduler_kwargs,
+                self.obs is not None,
+                self._snapshot_interval,
+            ),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
 
     # ------------------------------------------------------------------ plumbing
     def __enter__(self) -> "ShardedScheduler":
@@ -466,6 +632,11 @@ class ShardedScheduler:
         first and every worker's latest cumulative snapshot is folded into
         the parent registry exactly once, so post-shutdown
         ``obs.registry`` holds the whole-fabric series.
+
+        A worker that ignores the shutdown command (wedged in native code,
+        SIGSTOPped, …) cannot hang the parent: the ack wait is bounded, and
+        the reaping loop escalates ``join`` → ``terminate`` → ``kill``,
+        counting each escalation in ``recovery.forced_kills_total``.
         """
         if self._closed:
             return
@@ -475,7 +646,9 @@ class ShardedScheduler:
             if shard.alive:
                 try:
                     shard.conn.send(("shutdown",))
-                    shard.conn.recv()
+                    # Bounded ack wait: a stuck worker must not hang us.
+                    if shard.conn.poll(_STUCK_WORKER_TIMEOUT):
+                        shard.conn.recv()
                 except (BrokenPipeError, EOFError, OSError):
                     pass
             try:
@@ -484,10 +657,36 @@ class ShardedScheduler:
                 pass
             shard.alive = False
         for shard in self._shards:
-            shard.process.join(timeout=5)
-            if shard.process.is_alive():  # pragma: no cover - stuck worker
+            shard.process.join(timeout=_STUCK_WORKER_TIMEOUT)
+            if shard.process.is_alive():
+                logger.warning(
+                    "shard %d worker ignored shutdown; escalating to terminate/kill",
+                    shard.index,
+                )
                 shard.process.terminate()
-                shard.process.join(timeout=5)
+                shard.process.join(timeout=_STUCK_WORKER_TIMEOUT)
+                if shard.process.is_alive():
+                    shard.process.kill()
+                    shard.process.join(timeout=_STUCK_WORKER_TIMEOUT)
+                if self.obs is not None:
+                    self.obs.registry.inc(
+                        "recovery.forced_kills_total", shard=shard.index
+                    )
+
+    def kill_worker(self, index: int) -> None:
+        """Chaos hook: SIGKILL one worker process, as a crash would.
+
+        Used by the kill-mix chaos scenarios and the recovery smoke: the
+        parent-side bookkeeping is deliberately *not* told — the next
+        interaction with the shard discovers the death exactly the way a
+        real crash surfaces (pipe EOF / broken send) and, under
+        supervision, recovers it.
+        """
+        shard = self._shards[index]
+        process = shard.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=_STUCK_WORKER_TIMEOUT)
 
     def _mark_dead(self, shard: _Shard) -> None:
         if shard.alive:
@@ -510,7 +709,9 @@ class ShardedScheduler:
         if self.obs is None or not shard.alive:
             return
         try:
-            payload = self._request(shard, ("obs",))
+            # Bounded even without supervision: obs refresh runs at shutdown
+            # too, and a wedged worker must not hang the parent there.
+            payload = self._request(shard, ("obs",), timeout=_STUCK_WORKER_TIMEOUT)
         except (ShardDeadError, ShardWorkerError):
             return
         self._ingest_shard_obs(shard, payload)
@@ -555,23 +756,278 @@ class ShardedScheduler:
         )
         return MetricsRegistry.merge(snapshots)
 
-    def _request(self, shard: _Shard, message: tuple):
-        """One synchronous command round-trip with a worker."""
+    def _force_kill(self, shard: _Shard, reason: str) -> None:
+        """SIGKILL an unresponsive worker; counted in recovery.forced_kills."""
+        process = shard.process
+        if process is not None and process.is_alive():
+            logger.warning("force-killing shard %d worker: %s", shard.index, reason)
+            process.kill()
+            process.join(timeout=_STUCK_WORKER_TIMEOUT)
+            if self.obs is not None:
+                self.obs.registry.inc("recovery.forced_kills_total", shard=shard.index)
+
+    def _drain_channel(self, shard: _Shard) -> None:
+        """Discard any buffered replies so the pipe is back in protocol sync.
+
+        Called when a worker reported an exception: the worker itself stays
+        one-reply-per-command, but draining defensively guarantees the next
+        command cannot pair with a stale reply even if the failure left
+        something buffered.
+        """
+        try:
+            while shard.conn.poll(0):
+                shard.conn.recv()
+        except (EOFError, OSError):
+            pass
+
+    def _recv_reply(self, shard: _Shard, kind: str, timeout=_DEFAULT_TIMEOUT):
+        """Wait for one worker reply; marks the shard dead on EOF or timeout.
+
+        ``timeout`` defaults to the supervisor's ``request_timeout`` (block
+        forever without supervision); a worker that blows the budget is
+        presumed hung and force-killed so recovery sees a plain death.
+        """
+        if timeout is _DEFAULT_TIMEOUT:
+            timeout = (
+                self.supervision.request_timeout if self.supervision is not None else None
+            )
+        try:
+            if timeout is not None and not shard.conn.poll(timeout):
+                self._force_kill(shard, f"no reply to {kind!r} within {timeout}s")
+                self._mark_dead(shard)
+                raise ShardDeadError(
+                    f"shard {shard.index} worker timed out during {kind!r}"
+                )
+            return shard.conn.recv()
+        except (EOFError, OSError) as exc:
+            self._mark_dead(shard)
+            raise ShardDeadError(
+                f"shard {shard.index} worker died during {kind!r}"
+            ) from exc
+
+    def _raw_request(self, shard: _Shard, message: tuple, timeout=_DEFAULT_TIMEOUT):
+        """One synchronous command round-trip with a worker (no recovery)."""
         if not shard.alive:
             raise ShardDeadError(f"shard {shard.index} worker is not alive")
         try:
             shard.conn.send(message)
-            status, payload = shard.conn.recv()
         except (BrokenPipeError, EOFError, OSError) as exc:
             self._mark_dead(shard)
             raise ShardDeadError(
                 f"shard {shard.index} worker died during {message[0]!r}"
             ) from exc
+        status, payload = self._recv_reply(shard, message[0], timeout=timeout)
         if status == "raise":
+            self._drain_channel(shard)
             raise ShardWorkerError(
                 shard.index, payload["type"], payload["message"], payload["traceback"]
             )
         return payload
+
+    def _request(self, shard: _Shard, message: tuple, timeout=_DEFAULT_TIMEOUT):
+        """One command round-trip, with supervised recovery and journaling.
+
+        Without supervision this is exactly the old single-round-trip path.
+        With it, a dead worker is recovered (respawn + restore + journal
+        replay) and the unacknowledged command — which, never having been
+        acked, is by construction absent from both snapshot and journal —
+        is re-sent once; successful state-mutating commands are journaled.
+        """
+        if self.supervision is not None and not shard.alive:
+            self._recover_shard(shard)
+        try:
+            payload = self._raw_request(shard, message, timeout=timeout)
+        except ShardDeadError:
+            if self.supervision is None or not self._recover_shard(shard):
+                raise
+            payload = self._raw_request(shard, message, timeout=timeout)
+        self._journal(shard, message)
+        return payload
+
+    def _journal(self, shard: _Shard, message: tuple) -> None:
+        """Append an acked state-mutating command to the shard's replay log."""
+        if self._snapshot_interval is None:
+            return
+        if message[0] in _JOURNALED_COMMANDS:
+            shard.journal.append(message)
+
+    # ----------------------------------------------------------------- recovery
+    def _ensure_alive(self, shard: _Shard) -> bool:
+        """True when the shard is (or was just brought back) alive."""
+        return shard.alive or self._recover_shard(shard)
+
+    def _reap(self, shard: _Shard) -> None:
+        """Close the pipe and bury the old worker process before a respawn."""
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        process = shard.process
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=_STUCK_WORKER_TIMEOUT)
+
+    def _recover_shard(self, shard: _Shard) -> bool:
+        """Respawn a dead shard and rehydrate it; False when given up.
+
+        Bounded exponential backoff between attempts; the ``max_restarts``
+        circuit breaker converts a crash-looping shard back into the
+        terminal dropped-ticks behavior.  Rehydration prefers exactness:
+        restore the last piggybacked snapshot and replay the journal
+        (bitwise resume), else replay the journal from worker birth (still
+        bitwise), else — snapshots disabled — re-open every session fresh
+        (PR 6 re-warm semantics).
+        """
+        if self.supervision is None or self._closed:
+            return False
+        supervision = self.supervision
+        while True:
+            if shard.restarts >= supervision.max_restarts:
+                logger.error(
+                    "shard %d exhausted %d restarts; circuit breaker open",
+                    shard.index,
+                    supervision.max_restarts,
+                )
+                return False
+            shard.restarts += 1
+            self._reap(shard)
+            backoff = min(
+                supervision.restart_backoff
+                * supervision.backoff_factor ** (shard.restarts - 1),
+                supervision.max_backoff,
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            process, conn = self._spawn_worker(shard.index)
+            shard.process = process
+            shard.conn = conn
+            shard.alive = True
+            shard.last_tick_latency = None
+            mode = (
+                "snapshot"
+                if shard.snapshot is not None
+                else ("journal" if self._snapshot_interval is not None else "rewarm")
+            )
+            logger.warning(
+                "shard %d worker respawned (restart %d/%d, backoff %.3fs, mode=%s)",
+                shard.index,
+                shard.restarts,
+                supervision.max_restarts,
+                backoff,
+                mode,
+            )
+            if self.obs is not None:
+                self.obs.registry.inc("recovery.respawns_total", shard=shard.index)
+                self.obs.event(
+                    "worker_respawned",
+                    shard_index=shard.index,
+                    restarts=shard.restarts,
+                    backoff_seconds=backoff,
+                    mode=mode,
+                    journal_entries=len(shard.journal),
+                )
+            try:
+                if shard.snapshot is not None:
+                    # Restore and replay block without a request timeout: a
+                    # large snapshot may legitimately take longer than one
+                    # tick's reply budget.
+                    self._raw_request(shard, ("restore", shard.snapshot), timeout=None)
+                    meta = shard.snapshot.meta
+                    shard.shipped_models = set(
+                        meta.get("lane_keys", shard.snapshot.models)
+                    )
+                    shard.shipped_detectors = set(meta.get("detector_refs", ()))
+                    self._replay_journal(shard)
+                elif self._snapshot_interval is not None:
+                    # No snapshot yet: the journal reaches back to worker
+                    # birth, so replaying it alone is still exact.
+                    shard.shipped_models = set()
+                    shard.shipped_detectors = set()
+                    self._replay_journal(shard)
+                else:
+                    shard.shipped_models = set()
+                    shard.shipped_detectors = set()
+                    self._rewarm_shard(shard)
+            except ShardDeadError:
+                # The respawn died during rehydration; burn another restart
+                # (or trip the breaker at the top of the loop).
+                continue
+            except ShardWorkerError as exc:
+                # Deterministic replay raised inside the fresh worker —
+                # recovery cannot converge, so stop burning restarts.
+                logger.error("shard %d recovery replay failed: %s", shard.index, exc)
+                self._mark_dead(shard)
+                return False
+            return True
+
+    def _replay_journal(self, shard: _Shard) -> None:
+        """Re-send every journaled command verbatim to a rehydrated worker.
+
+        Replayed ticks re-advance detector RNG streams and inversion states
+        to their exact pre-crash positions; their outcomes and traces are
+        discarded (the parent already delivered them before the crash) —
+        only the cumulative series mirror is refreshed, keeping obs totals
+        identical to an uninterrupted run.  A replayed tick that crosses the
+        snapshot cadence returns a fresh snapshot, which truncates the
+        journal just as it would have live.
+        """
+        replay = list(shard.journal)
+        remaining = replay
+        for position, message in enumerate(replay):
+            payload = self._raw_request(shard, message, timeout=None)
+            if self.obs is not None:
+                self.obs.registry.inc(
+                    "recovery.journal_replayed_total", shard=shard.index
+                )
+            kind = message[0]
+            if kind == "model":
+                shard.shipped_models.add(message[1])
+            elif kind == "detector":
+                shard.shipped_detectors.add(message[1])
+            elif kind == "tick":
+                if self.obs is not None and payload.get("obs") is not None:
+                    shard.obs_series = payload["obs"]["series"]
+                if payload.get("snapshot") is not None:
+                    shard.snapshot = payload["snapshot"]
+                    remaining = replay[position + 1 :]
+        shard.journal = remaining
+
+    def _rewarm_shard(self, shard: _Shard) -> None:
+        """Snapshotless fallback: re-open every session fresh on the respawn.
+
+        PR 6 quarantine/re-warm semantics — model weights and detector
+        objects are re-shipped from the parent registries, sessions restart
+        at tick 0 with empty rings and cold adapter state, and the parent
+        mirrors reset to match.  Exact for the model (weights are
+        immutable) but *not* resume-exact: warm stream state is lost.
+        """
+        detector_by_ref = {ref: obj for obj, ref in self._detector_refs.values()}
+        for session_id, spec in shard.open_specs.items():
+            lane_key = spec["lane_key"]
+            if lane_key not in shard.shipped_models:
+                payload = pickle.dumps(
+                    self._lane_predictors[lane_key], protocol=_PICKLE_PROTOCOL
+                )
+                self._raw_request(shard, ("model", lane_key, payload), timeout=None)
+                shard.shipped_models.add(lane_key)
+            for ref in spec["detector_refs"]:
+                if ref not in shard.shipped_detectors:
+                    payload = pickle.dumps(
+                        detector_by_ref[ref], protocol=_PICKLE_PROTOCOL
+                    )
+                    self._raw_request(shard, ("detector", ref, payload), timeout=None)
+                    shard.shipped_detectors.add(ref)
+            self._raw_request(shard, ("open", spec["spec"]), timeout=None)
+            handle = self._sessions[session_id]
+            handle.ticks = 0
+            handle.last_prediction = None
+            handle._ring.reset()
+            handle._blocked = False
+            if self.obs is not None:
+                self.obs.registry.inc(
+                    "recovery.sessions_rewarmed_total", shard=shard.index
+                )
 
     # ------------------------------------------------------------------ sessions
     def shard_for(self, lane_key: str, session_id: str) -> int:
@@ -646,19 +1102,14 @@ class ShardedScheduler:
         if detectors:
             self._ship_detectors(shard, detectors)
             adapters_payload = _dumps_with_refs(dict(detectors), self._detector_refs)
-        self._request(
-            shard,
-            (
-                "open",
-                {
-                    "session_id": session_id,
-                    "patient_label": str(patient_label),
-                    "lane_key": lane_key,
-                    "adapters": adapters_payload,
-                    "expected_state_hash": expected_state_hash,
-                },
-            ),
-        )
+        spec = {
+            "session_id": session_id,
+            "patient_label": str(patient_label),
+            "lane_key": lane_key,
+            "adapters": adapters_payload,
+            "expected_state_hash": expected_state_hash,
+        }
+        self._request(shard, ("open", spec))
         proxy = (
             _ShardHealthProxy(self, session_id, shard.index)
             if self.health is not None
@@ -669,6 +1120,21 @@ class ShardedScheduler:
         )
         self._sessions[session_id] = handle
         self._lane_keys.add(lane_key)
+        if self.supervision is not None:
+            # Re-warm recipe: enough to rebuild the session from parent-side
+            # objects when a respawn has no snapshot/journal to replay.
+            self._lane_predictors[lane_key] = predictor
+            refs = []
+            if detectors:
+                for adapter in detectors.values():
+                    detector = getattr(adapter, "detector", None)
+                    if detector is not None:
+                        refs.append(self._detector_refs[id(detector)][1])
+            shard.open_specs[session_id] = {
+                "lane_key": lane_key,
+                "detector_refs": tuple(refs),
+                "spec": spec,
+            }
         return handle
 
     def close_session(self, session_id: str) -> None:
@@ -676,11 +1142,14 @@ class ShardedScheduler:
         handle = self._sessions.pop(str(session_id))
         shard = self._shards[handle.shard]
         timeline: Optional[list] = None
-        if shard.alive:
+        if shard.alive or self.supervision is not None:
             try:
                 timeline = self._request(shard, ("close", handle.session_id))
             except ShardDeadError:
                 timeline = None
+        # Popped only after the round-trip: a supervised re-warm recovery
+        # mid-close must still re-open the session it is about to close.
+        shard.open_specs.pop(handle.session_id, None)
         if handle.health is not None:
             handle.health._finalize(timeline)
 
@@ -749,31 +1218,36 @@ class ShardedScheduler:
         for session_id, sample in samples.items():
             handle = self._sessions[str(session_id)]
             shard = self._shards[handle.shard]
-            if not shard.alive:
+            if not shard.alive and not self._ensure_alive(shard):
                 merged[handle.session_id] = self._dead_shard_tick(handle, sample)
                 continue
             per_shard.setdefault(handle.shard, {})[handle.session_id] = sample
 
         # Fan out first so the workers compute concurrently, then collect.
+        # A failed send is left for the collect phase to handle: under
+        # supervision the recv on the broken pipe surfaces the death and
+        # _exchange_tick recovers + re-sends; without it the sessions are
+        # degraded immediately, exactly as before.
         engaged: List[Tuple[_Shard, Dict[str, np.ndarray]]] = []
         for shard_index, shard_samples in per_shard.items():
             shard = self._shards[shard_index]
             try:
                 shard.conn.send(("tick", shard_samples, now))
-                engaged.append((shard, shard_samples))
             except (BrokenPipeError, OSError):
                 self._mark_dead(shard)
-                for session_id, sample in shard_samples.items():
-                    merged[session_id] = self._dead_shard_tick(
-                        self._sessions[session_id], sample
-                    )
+                if self.supervision is None:
+                    for session_id, sample in shard_samples.items():
+                        merged[session_id] = self._dead_shard_tick(
+                            self._sessions[session_id], sample
+                        )
+                    continue
+            engaged.append((shard, shard_samples))
 
         failures: List[ShardWorkerError] = []
         for shard, shard_samples in engaged:
-            try:
-                status, payload = shard.conn.recv()
-            except (EOFError, OSError):
-                self._mark_dead(shard)
+            message = ("tick", shard_samples, now)
+            status, payload = self._exchange_tick(shard, message)
+            if status is None:
                 for session_id, sample in shard_samples.items():
                     merged[session_id] = self._dead_shard_tick(
                         self._sessions[session_id], sample
@@ -782,6 +1256,7 @@ class ShardedScheduler:
             if status == "raise":
                 # Drain every engaged shard before raising so the pipes stay
                 # in protocol sync; the first failing shard's error wins.
+                self._drain_channel(shard)
                 failures.append(
                     ShardWorkerError(
                         shard.index,
@@ -791,6 +1266,19 @@ class ShardedScheduler:
                     )
                 )
                 continue
+            if self._snapshot_interval is not None:
+                snapshot = payload.get("snapshot")
+                if snapshot is not None:
+                    # The snapshot includes this tick: it supersedes the
+                    # journal, and this tick must not be journaled after it.
+                    shard.snapshot = snapshot
+                    shard.journal = []
+                    if self.obs is not None:
+                        self.obs.registry.inc(
+                            "recovery.snapshots_received_total", shard=shard.index
+                        )
+                else:
+                    self._journal(shard, message)
             shard.last_tick_latency = payload["elapsed"]
             self._ingest_shard_obs(shard, payload.get("obs"))
             blocked = payload["blocked"]
@@ -800,3 +1288,26 @@ class ShardedScheduler:
         if failures:
             raise failures[0]
         return dict(sorted(merged.items()))
+
+    def _exchange_tick(self, shard: _Shard, message: tuple):
+        """Collect one shard's tick reply, recovering + re-sending at most once.
+
+        Returns the worker's ``(status, payload)`` pair, or ``(None, None)``
+        when the shard is (now terminally) dead.  The re-sent tick was never
+        acknowledged by the dead worker, so after snapshot restore + journal
+        replay the fresh worker computes it from exactly the pre-tick state
+        — the recovered outcome is bitwise the one the crashed worker would
+        have produced.
+        """
+        for attempt in (0, 1):
+            try:
+                if attempt:
+                    shard.conn.send(message)
+                return self._recv_reply(shard, "tick")
+            except (BrokenPipeError, OSError):
+                self._mark_dead(shard)
+            except ShardDeadError:
+                pass
+            if attempt or not self._recover_shard(shard):
+                return None, None
+        return None, None  # pragma: no cover - loop always returns

@@ -1,0 +1,349 @@
+"""Crash recovery: scheduler snapshots resume bitwise; snapshot files are safe.
+
+Pins the contract of :mod:`repro.serving.recovery` (see ``docs/recovery.md``):
+
+* ``StreamScheduler.snapshot()`` → ``StreamScheduler.restore()`` continues
+  ticking **bitwise identically** to the uninterrupted scheduler, for every
+  carried state family — predictor lane slots (BiLSTM recurrent stream
+  state), sample rings, the LSTM-VAE projection ring and Gaussian-HMM
+  partial-alpha band, MAD-GAN's warm-started inversion state (including its
+  RNG position), and a :class:`SessionHealth` snapshotted mid-quarantine
+  with a non-zero backoff,
+* snapshot files are versioned + checksummed: truncation, corruption, bad
+  magic, trailing bytes, and unknown versions are rejected loudly
+  (:class:`SnapshotError`) instead of deserializing garbage state, and
+* :class:`SchedulerCheckpointer` rotates atomically-written files and loads
+  the newest one.
+
+The end-to-end recovery gate (kill-mix at 2/4 shards under full chaos) is
+wired in via ``scripts/check_parity.py::run_recovery_smoke`` at the bottom.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.detectors import KNNDistanceDetector
+from repro.detectors.streaming import StreamingDetector
+from repro.serving import (
+    HealthConfig,
+    IngressConfig,
+    IngressPolicy,
+    SchedulerCheckpointer,
+    SnapshotError,
+    StreamScheduler,
+)
+from repro.serving.recovery import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    read_snapshot,
+    write_snapshot,
+)
+
+HISTORY = 12
+
+
+def tick_fingerprint(outcomes):
+    """Bitwise-comparable view of one tick's outcomes."""
+    return tuple(
+        (
+            session_id,
+            outcome.tick,
+            outcome.sample.tobytes(),
+            None if outcome.prediction is None else float(outcome.prediction),
+            tuple(
+                (name, verdict.warming, verdict.flagged, verdict.score)
+                for name, verdict in sorted(outcome.verdicts.items())
+            ),
+            outcome.dropped,
+            outcome.ingress,
+        )
+        for session_id, outcome in sorted(outcomes.items())
+    )
+
+
+def timeline_of(scheduler, session_id):
+    health = scheduler._sessions[session_id].health
+    if health is None:
+        return []
+    return [
+        (event.tick, str(event.state), event.reason, event.delivered_at, event.backoff)
+        for event in health.timeline
+    ]
+
+
+def assert_resumes_bitwise(build, feeds, split_at):
+    """Tick to ``split_at``, snapshot, restore, and require bitwise continuation."""
+    original = build()
+    for tick in range(split_at):
+        original.tick(feeds[tick], now=tick)
+    snapshot = original.snapshot()
+    restored = StreamScheduler.restore(snapshot)
+    assert restored.n_sessions == original.n_sessions
+    assert restored.n_lanes == original.n_lanes
+    for tick in range(split_at, len(feeds)):
+        live = tick_fingerprint(original.tick(feeds[tick], now=tick))
+        resumed = tick_fingerprint(restored.tick(feeds[tick], now=tick))
+        assert resumed == live, f"restored run diverged at tick {tick}"
+    for session_id in sorted(original._sessions):
+        assert timeline_of(restored, session_id) == timeline_of(original, session_id)
+    return original, restored
+
+
+class TestSchedulerSnapshot:
+    @pytest.fixture(scope="class")
+    def knn(self, tiny_zoo, tiny_cohort):
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        return KNNDistanceDetector(n_neighbors=5).fit(windows[::4, -1:, :])
+
+    @pytest.fixture(scope="class")
+    def feeds(self, tiny_cohort):
+        records = list(tiny_cohort)
+        return [
+            {record.label: record.features("test")[tick] for record in records}
+            for tick in range(20)
+        ]
+
+    def test_knn_lanes_resume_bitwise(self, tiny_zoo, tiny_cohort, knn, feeds):
+        """Predictor lane slots + sample rings + health resume bitwise."""
+        records = list(tiny_cohort)
+
+        def build():
+            scheduler = StreamScheduler(
+                health=HealthConfig(degrade_after=1, quarantine_after=2, backoff_ticks=4),
+                ingress=IngressConfig(policy=IngressPolicy.REJECT),
+            )
+            for record in records:
+                scheduler.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "knn": StreamingDetector(knn, unit="sample", history=HISTORY)
+                    },
+                )
+            return scheduler
+
+        assert_resumes_bitwise(build, feeds, split_at=7)
+
+    def test_window_brains_resume_bitwise(self, tiny_zoo, tiny_cohort, feeds):
+        """LSTM-VAE projection ring + HMM alpha band resume bitwise, warm."""
+        from repro.detectors import GaussianHMMDetector, LSTMVAEDetector
+
+        records = list(tiny_cohort)[:2]
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        benign = windows[::4]
+        vae = LSTMVAEDetector(epochs=1, hidden_size=8, batch_size=16, seed=0).fit(benign)
+        hmm = GaussianHMMDetector(n_states=3, n_iter=3, seed=0).fit(benign)
+
+        def build():
+            scheduler = StreamScheduler()
+            for record in records:
+                scheduler.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "vae": StreamingDetector(vae, unit="window", history=HISTORY),
+                        "hmm": StreamingDetector(hmm, unit="window", history=HISTORY),
+                    },
+                )
+            return scheduler
+
+        labels = {record.label for record in records}
+        feeds = [
+            {label: sample for label, sample in feed.items() if label in labels}
+            for feed in feeds
+        ]
+        # Snapshot after warm-up so both carried stream states are non-trivial.
+        original, restored = assert_resumes_bitwise(
+            build, feeds[:18], split_at=HISTORY + 2
+        )
+        final = restored.tick(feeds[18], now=18)
+        for outcome in final.values():
+            for verdict in outcome.verdicts.values():
+                assert not verdict.warming and verdict.flagged is not None
+
+    def test_madgan_inversion_state_resumes_bitwise(self, tiny_zoo, tiny_cohort, feeds):
+        """Warm-started inversion latents + detector RNG resume bitwise."""
+        from repro.detectors import MADGANDetector
+
+        records = list(tiny_cohort)[:2]
+        windows, _, _ = tiny_zoo.dataset.from_cohort(tiny_cohort, split="train")
+        madgan = MADGANDetector(
+            epochs=1,
+            hidden_size=8,
+            inversion_steps=6,
+            warm_inversion_steps=2,
+            max_samples=200,
+            seed=0,
+        ).fit(windows[::4])
+
+        def build():
+            scheduler = StreamScheduler()
+            for record in records:
+                scheduler.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "madgan": StreamingDetector(
+                            madgan, unit="window", history=HISTORY
+                        )
+                    },
+                )
+            return scheduler
+
+        labels = {record.label for record in records}
+        feeds = [
+            {label: sample for label, sample in feed.items() if label in labels}
+            for feed in feeds
+        ]
+        assert_resumes_bitwise(build, feeds[:17], split_at=HISTORY + 2)
+
+    def test_health_backoff_resumes_bitwise(self, tiny_zoo, tiny_cohort, knn, feeds):
+        """A session snapshotted mid-quarantine keeps its backoff countdown."""
+        records = list(tiny_cohort)
+        victim = records[0].label
+        poisoned = []
+        for tick, feed in enumerate(feeds):
+            feed = dict(feed)
+            if tick in (3, 4):  # two rejected deliveries -> quarantine + backoff
+                feed[victim] = np.full_like(feed[victim], np.nan)
+            poisoned.append(feed)
+
+        def build():
+            scheduler = StreamScheduler(
+                health=HealthConfig(degrade_after=1, quarantine_after=2, backoff_ticks=4),
+                ingress=IngressConfig(policy=IngressPolicy.REJECT),
+            )
+            for record in records:
+                scheduler.open_session(
+                    record.label,
+                    tiny_zoo.model_for(record.label),
+                    detectors={
+                        "knn": StreamingDetector(knn, unit="sample", history=HISTORY)
+                    },
+                )
+            return scheduler
+
+        probe = build()
+        for tick in range(6):
+            probe.tick(poisoned[tick], now=tick)
+        health = probe._sessions[victim].health
+        assert health.backoff_remaining > 0, "fixture never reached a live backoff"
+        assert health.quarantines == 1
+
+        original, restored = assert_resumes_bitwise(build, poisoned, split_at=6)
+        # The victim must have been re-admitted after the backoff in both runs.
+        assert original._sessions[victim].health.readmissions == 1
+        assert restored._sessions[victim].health.readmissions == 1
+
+    def test_snapshot_metadata(self, tiny_zoo, tiny_cohort, knn, feeds):
+        records = list(tiny_cohort)
+        scheduler = StreamScheduler()
+        for record in records:
+            scheduler.open_session(record.label, tiny_zoo.model_for(record.label))
+        for tick in range(3):
+            scheduler.tick(feeds[tick], now=tick)
+        snapshot = scheduler.snapshot(meta={"ticks_seen": 3})
+        assert snapshot.version == SNAPSHOT_VERSION
+        assert snapshot.n_sessions_hint() == len(records)
+        assert snapshot.meta["ticks_seen"] == 3
+        assert len(snapshot.models) == scheduler.n_lanes
+
+
+class TestSnapshotFiles:
+    @pytest.fixture(scope="class")
+    def snapshot(self, tiny_zoo, tiny_cohort):
+        record = next(iter(tiny_cohort))
+        scheduler = StreamScheduler()
+        scheduler.open_session(record.label, tiny_zoo.model_for(record.label))
+        for tick in range(3):
+            scheduler.tick({record.label: record.features("test")[tick]}, now=tick)
+        return scheduler.snapshot()
+
+    def test_file_round_trip_restores(self, snapshot, tmp_path):
+        path = tmp_path / "one.snap"
+        write_snapshot(snapshot, path)
+        loaded = read_snapshot(path)
+        restored = StreamScheduler.restore(loaded)
+        assert restored.n_sessions == 1
+
+    def test_truncated_file_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "trunc.snap"
+        write_snapshot(snapshot, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot(path)
+
+    def test_corrupted_body_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "corrupt.snap"
+        write_snapshot(snapshot, path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a body byte; the header checksum must catch it
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(path)
+
+    def test_bad_magic_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "magic.snap"
+        write_snapshot(snapshot, path)
+        data = bytearray(path.read_bytes())
+        assert data[: len(SNAPSHOT_MAGIC)] == SNAPSHOT_MAGIC
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="magic"):
+            read_snapshot(path)
+
+    def test_unknown_version_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "version.snap"
+        write_snapshot(snapshot, path)
+        data = bytearray(path.read_bytes())
+        data[len(SNAPSHOT_MAGIC)] = 0xEE  # little-endian u32 version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="version"):
+            read_snapshot(path)
+
+    def test_trailing_bytes_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "trailing.snap"
+        write_snapshot(snapshot, path)
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(SnapshotError, match="trailing"):
+            read_snapshot(path)
+
+    def test_checkpointer_rotates_and_loads_latest(self, snapshot, tmp_path):
+        checkpointer = SchedulerCheckpointer(tmp_path / "ckpt", keep=2)
+        assert checkpointer.latest() is None
+        paths = [checkpointer.save(snapshot) for _ in range(3)]
+        remaining = sorted((tmp_path / "ckpt").glob("*.snap"))
+        assert remaining == sorted(paths[1:]), "keep=2 must prune the oldest file"
+        assert checkpointer.latest() == paths[-1]
+        loaded = checkpointer.load()
+        assert loaded.version == snapshot.version
+        specific = checkpointer.load(paths[1])
+        assert specific.version == snapshot.version
+
+    def test_checkpointer_load_without_files_raises(self, tmp_path):
+        checkpointer = SchedulerCheckpointer(tmp_path / "empty")
+        with pytest.raises(SnapshotError, match="checkpoints"):
+            checkpointer.load()
+
+
+class TestRecoverySmokeGate:
+    """Wire scripts/check_parity.py's recovery smoke into the tier-1 flow."""
+
+    @pytest.fixture(scope="class")
+    def check_parity(self):
+        path = Path(__file__).resolve().parents[1] / "scripts" / "check_parity.py"
+        spec = importlib.util.spec_from_file_location("check_parity_recovery", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_recovery_smoke_passes(self, check_parity, tiny_zoo, tiny_cohort):
+        report = check_parity.run_recovery_smoke(tiny_zoo, tiny_cohort, n_ticks=40)
+        assert report["shard_counts"] == (2, 4)
+        assert report["respawns"][2] >= 1
+        assert report["respawns"][4] >= 2
+        assert report["snapshot_bytes"] > 0
